@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper (see the
+per-experiment index in DESIGN.md) and prints the reproduced rows next to
+the paper's published values.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+from repro import WebRacer
+from repro.sites import build_corpus
+
+MASTER_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The 100-site synthetic Fortune-100 corpus (built once per run)."""
+    return build_corpus(master_seed=MASTER_SEED)
+
+
+@pytest.fixture(scope="session")
+def corpus_report(corpus):
+    """WebRacer's full corpus run (shared by the Table 1/2 benchmarks)."""
+    racer = WebRacer(seed=MASTER_SEED)
+    return racer.check_corpus(corpus)
+
+
+def print_header(title):
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

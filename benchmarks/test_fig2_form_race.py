@@ -1,0 +1,69 @@
+"""E2 — Fig. 2: the Southwest form race.
+
+A script sets a hint into the departure-city text box; a user typing during
+page load has their input silently overwritten.  WebRacer's typing
+simulation (Section 5.2.2) exposes the race; the form filter retains it and
+the harmfulness judge flags it (user input erased).
+"""
+
+from repro import WebRacer
+from repro.core.report import VARIABLE
+
+HTML = """
+<input type="text" id="depart" />
+<script src="hint.js"></script>
+"""
+RESOURCES = {
+    "hint.js": "document.getElementById('depart').value = 'City of Departure';"
+}
+LATENCIES = {"hint.js": 40.0}
+
+
+def detect(seed=1):
+    racer = WebRacer(seed=seed)
+    return racer.check_page(HTML, resources=dict(RESOURCES), latencies=dict(LATENCIES))
+
+
+def test_fig2_form_value_race(benchmark):
+    report = benchmark(detect)
+    races = report.classified.by_type(VARIABLE)
+    assert len(races) == 1
+    race = races[0]
+    assert race.harmful
+    assert race.race.location.name == "value"
+
+    field = report.page.document.get_element_by_id("depart")
+    print()
+    print("Fig. 2 reproduction — Southwest form-field race")
+    print(f"  detected: {race.describe()}")
+    print(f"  final field value: {field.value!r}")
+    print("  paper: the script overwrites any text the user has entered")
+    # Whoever lost the race was overwritten; both orders occur depending on
+    # whether typing happened during load (eager) or after (exploration).
+    assert field.value in ("City of Departure", "user input")
+
+
+def test_fig2_guarded_variant_is_filtered(benchmark):
+    """The paper's filter enhancement: a read-guarded write is harmless."""
+    guarded = {
+        "hint.js": (
+            "var f = document.getElementById('depart');\n"
+            "f.value = f.value || 'City of Departure';"
+        )
+    }
+
+    def detect_guarded():
+        racer = WebRacer(seed=1, explore=False, eager=False)
+        return racer.check_page(
+            "<input type='hidden' id='depart' value='' />"
+            "<script src='init.js' async='true'></script>"
+            "<script src='hint.js' async='true'></script>",
+            resources={"init.js": "document.getElementById('depart').value = 'x';", **guarded},
+        )
+
+    report = benchmark(detect_guarded)
+    print()
+    print("Fig. 2 guarded variant — read-before-write drops the race")
+    print(f"  raw races: {len(report.raw_races)}, filtered: {len(report.filtered_races)}")
+    assert len(report.raw_races) >= 1
+    assert report.filtered_counts()[VARIABLE] == 0

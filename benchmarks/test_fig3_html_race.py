@@ -1,0 +1,67 @@
+"""E3 — Fig. 3: the Valero HTML race.
+
+Clicking "Send Email" before the ``dw`` div is parsed makes ``show()``
+dereference a missing element: a hidden TypeError that leaves the page in a
+half-mutated state.  Eager exploration simulates the impatient user.
+"""
+
+from repro import WebRacer
+from repro.core.report import HTML as HTML_RACE
+
+PAGE = """
+<script>
+function show(emailTo, box) {
+  if (box != null) { box.value = emailTo; }
+  var v = $get('dw');
+  v.style.display = 'block';
+}
+</script>
+<a id="send" href="javascript:show('x@x.com', $get('ebox'))">Send Email</a>
+<input type="hidden" id="ebox" />
+<div id="pad1">.</div>
+<div id="dw" style="display:none">email form</div>
+"""
+
+
+def detect(seed=2):
+    racer = WebRacer(seed=seed)
+    return racer.check_page(PAGE)
+
+
+def test_fig3_html_race(benchmark):
+    report = benchmark(detect)
+    races = report.classified.by_type(HTML_RACE)
+    harmful = [race for race in races if race.harmful]
+    assert harmful, "the dw access must be a harmful HTML race"
+    crash_kinds = {crash.kind for crash in report.trace.crashes}
+
+    print()
+    print("Fig. 3 reproduction — Valero HTML race on #dw")
+    for race in races:
+        print(f"  detected: {race.describe()}")
+    print(f"  hidden crashes: {sorted(crash_kinds)} (page survived: {report.page.loaded()})")
+    print("  paper: clicking before dw loads throws; the crash is hidden")
+    assert "TypeError" in crash_kinds
+    assert report.page.loaded()
+
+
+def test_fig3_safe_ordering_no_race(benchmark):
+    safe = PAGE.replace(
+        '<div id="dw" style="display:none">email form</div>', ""
+    ).replace(
+        '<a id="send"',
+        '<div id="dw" style="display:none">email form</div><a id="send"',
+    )
+
+    def detect_safe():
+        return WebRacer(seed=2).check_page(safe)
+
+    report = benchmark(detect_safe)
+    print()
+    print("Fig. 3 control — div parsed before the link: no HTML race on dw")
+    dw_races = [
+        race
+        for race in report.classified.by_type(HTML_RACE)
+        if "dw" in race.race.location.describe()
+    ]
+    assert dw_races == []

@@ -1,0 +1,82 @@
+"""E4 — Fig. 4: the Mozilla function race.
+
+An iframe's onload schedules ``doNextStep()`` via setTimeout while the
+declaring script is still loading.  The happens-before relation leaves the
+callback and the declaration unordered, so the race is reported under every
+schedule; whether the run actually crashes depends on the latency balance —
+both outcomes are exercised.
+"""
+
+from repro import WebRacer
+from repro.core.report import FUNCTION
+
+HTML = """
+<iframe id="i" src="sub.html" onload="setTimeout('doNextStep()', 20)"></iframe>
+<script src="steps.js"></script>
+"""
+RESOURCES = {
+    "sub.html": "<div>frame content</div>",
+    "steps.js": "function doNextStep() { window.stepDone = true; }",
+}
+
+
+def detect(script_latency):
+    racer = WebRacer(seed=1, explore=False, eager=False)
+    return racer.check_page(
+        HTML,
+        resources=dict(RESOURCES),
+        latencies={"sub.html": 1.0, "steps.js": script_latency},
+    )
+
+
+def test_fig4_function_race_fast_iframe(benchmark):
+    """Iframe wins: the callback invokes a yet-unparsed function."""
+    report = benchmark(detect, 200.0)
+    races = report.classified.by_type(FUNCTION)
+    assert len(races) == 1
+    assert races[0].harmful
+    crash_kinds = {crash.kind for crash in report.trace.crashes}
+
+    print()
+    print("Fig. 4 reproduction — function race on doNextStep (iframe fast)")
+    print(f"  detected: {races[0].describe()}")
+    print(f"  crashes: {sorted(crash_kinds)}")
+    print("  paper: invoking a non-existent function fails the unit test")
+    assert "ReferenceError" in crash_kinds
+
+
+def test_fig4_function_race_slow_iframe(benchmark):
+    """Script wins: no crash this run, but the race is still reported —
+    the whole point of happens-before detection."""
+    report = benchmark(detect, 2.0)
+    races = report.classified.by_type(FUNCTION)
+    assert len(races) == 1
+    assert not races[0].harmful  # latent in this schedule
+    assert report.page.interpreter.global_object.get_own("stepDone") is True
+
+    print()
+    print("Fig. 4 reproduction — same race, benign schedule (script fast)")
+    print(f"  detected: {races[0].describe()} (latent)")
+
+
+def test_fig4_fixed_by_reordering(benchmark):
+    """The paper's fix: move the script above the iframe (rule 1 then
+    orders parse(script) before the iframe's handler chain)."""
+    fixed = """
+    <script src="steps.js"></script>
+    <iframe id="i" src="sub.html" onload="setTimeout('doNextStep()', 20)"></iframe>
+    """
+
+    def detect_fixed():
+        racer = WebRacer(seed=1, explore=False, eager=False)
+        return racer.check_page(
+            fixed,
+            resources=dict(RESOURCES),
+            latencies={"sub.html": 1.0, "steps.js": 200.0},
+        )
+
+    report = benchmark(detect_fixed)
+    print()
+    print("Fig. 4 control — script before iframe: race gone")
+    assert report.classified.by_type(FUNCTION) == []
+    assert report.trace.crashes == []

@@ -1,0 +1,66 @@
+"""E5 — Fig. 5: the event-dispatch race.
+
+A script attaches ``iframe.onload`` after the iframe tag; if the frame
+loads first, the handler is lost forever.  The racing *read* is the
+browser's own inspection of the onload attribute slot at dispatch time —
+an access with no syntactic footprint in the page, which the Eloc model
+makes visible.
+"""
+
+from repro import WebRacer
+from repro.core.report import EVENT_DISPATCH
+
+HTML = """
+<iframe id="i" src="a.html"></iframe>
+<script>
+document.getElementById('i').onload = function() { window.ran = true; };
+</script>
+"""
+RESOURCES = {"a.html": "<div>nested</div>"}
+
+
+def detect(latency, seed=1):
+    racer = WebRacer(seed=seed, explore=False, eager=False)
+    return racer.check_page(
+        HTML, resources=dict(RESOURCES), latencies={"a.html": latency}
+    )
+
+
+def test_fig5_event_dispatch_race(benchmark):
+    report = benchmark(detect, 3.0)
+    races = report.classified.by_type(EVENT_DISPATCH)
+    assert len(races) == 1
+    race = races[0]
+    assert race.harmful
+    assert race.race.location.event == "load"
+
+    print()
+    print("Fig. 5 reproduction — dispatch race on iframe onload")
+    print(f"  detected: {race.describe()}")
+    print("  paper: if the frame loads before the script, the handler never runs")
+
+
+def test_fig5_handler_lost_when_frame_wins(benchmark):
+    """With a very fast frame, the handler misses the dispatch window."""
+    report = benchmark(detect, 0.2)
+    ran = report.page.interpreter.global_object.get_own("ran")
+    print()
+    print(f"Fig. 5 dynamics — fast frame: handler ran = {ran!r}")
+    # Race still reported regardless of whether the handler happened to run.
+    assert report.classified.by_type(EVENT_DISPATCH)
+
+
+def test_fig5_attribute_in_tag_is_safe(benchmark):
+    safe = '<iframe id="i" src="a.html" onload="window.ran = true;"></iframe>'
+
+    def detect_safe():
+        racer = WebRacer(seed=1, explore=False, eager=False)
+        return racer.check_page(
+            safe, resources=dict(RESOURCES), latencies={"a.html": 3.0}
+        )
+
+    report = benchmark(detect_safe)
+    print()
+    print("Fig. 5 control — onload in the tag: handler write is parse(I), rule 8 orders it")
+    assert report.classified.by_type(EVENT_DISPATCH) == []
+    assert report.page.interpreter.global_object.get_own("ran") is True

@@ -1,0 +1,106 @@
+"""E9 — Section 5.2.1 ablation: graph traversal vs. vector clocks.
+
+The paper stores happens-before as a graph and notes that repeated graph
+traversals contribute to its overhead, planning "a more efficient
+vector-clock representation in the future".  This benchmark builds both
+representations from the same large execution and replays an identical CHC
+query stream against each, validating they agree and comparing throughput
+and memory shape.
+"""
+
+import random
+import time
+
+from repro.browser.page import Browser
+from repro.core.hb.graph import HBGraph
+from repro.core.hb.vector_clock import ChainVectorClocks
+
+
+def big_page_graph():
+    """A real HB graph from an operation-heavy page load with genuine
+    concurrency: async scripts, timers, and images racing with parsing."""
+    parts = []
+    resources = {}
+    for i in range(500):
+        parts.append(f"<div id='d{i}'></div>")
+        if i % 3 == 0:
+            parts.append(f"<script>g{i % 11} = {i};</script>")
+        if i % 25 == 0:
+            parts.append(f"<img src='p{i}.png'>")
+            resources[f"p{i}.png"] = "bin"
+        if i % 40 == 0:
+            parts.append(f"<script src='a{i}.js' async='true'></script>")
+            resources[f"a{i}.js"] = f"as{i} = setTimeout('tm{i} = 1;', {i % 17});"
+    page = Browser(seed=0, resources=resources).load("".join(parts))
+    return page.monitor.graph
+
+
+def query_stream(graph, count=20_000, seed=1):
+    rng = random.Random(seed)
+    nodes = graph.operation_ids()
+    return [
+        (rng.choice(nodes), rng.choice(nodes)) for _ in range(count)
+    ]
+
+
+def test_graph_chc_throughput(benchmark):
+    graph = big_page_graph()
+    queries = query_stream(graph)
+
+    def run():
+        hits = 0
+        for a, b in queries:
+            if graph.concurrent(a, b):
+                hits += 1
+        return hits
+
+    hits = benchmark(run)
+    assert hits > 0
+
+
+def test_vector_clock_chc_throughput(benchmark):
+    graph = big_page_graph()
+    clocks = ChainVectorClocks(graph)
+    queries = query_stream(graph)
+
+    def run():
+        hits = 0
+        for a, b in queries:
+            if clocks.concurrent(a, b):
+                hits += 1
+        return hits
+
+    hits = benchmark(run)
+    assert hits > 0
+
+
+def test_representations_agree_and_compare(benchmark):
+    graph = benchmark.pedantic(big_page_graph, rounds=1, iterations=1)
+    build_start = time.perf_counter()
+    clocks = ChainVectorClocks(graph)
+    build_time = time.perf_counter() - build_start
+    queries = query_stream(graph, count=30_000)
+
+    graph.invalidate_caches()
+    start = time.perf_counter()
+    graph_answers = [graph.concurrent(a, b) for a, b in queries]
+    graph_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    clock_answers = [clocks.concurrent(a, b) for a, b in queries]
+    clock_time = time.perf_counter() - start
+
+    assert graph_answers == clock_answers
+
+    ops = len(graph.operation_ids())
+    print()
+    print("HB representation ablation (E9):")
+    print(f"  operations: {ops}, edges: {graph.edge_count()}, "
+          f"chains: {clocks.chain_count}")
+    print(f"  graph (cached ancestors): {len(queries) / graph_time:12.0f} queries/s")
+    print(f"  vector clocks:            {len(queries) / clock_time:12.0f} queries/s "
+          f"(+{build_time * 1000:.1f} ms one-time build)")
+    print(f"  VC memory: {clocks.memory_cells()} clock cells "
+          f"(vs. worst-case {ops * ops} for per-op ancestor sets)")
+    concurrent_fraction = sum(graph_answers) / len(graph_answers)
+    print(f"  concurrent pairs in stream: {concurrent_fraction:.1%}")

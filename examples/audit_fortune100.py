@@ -1,0 +1,80 @@
+"""Reproduce the paper's evaluation: audit the Fortune-100 corpus.
+
+Run with::
+
+    python examples/audit_fortune100.py           # all 100 sites
+    python examples/audit_fortune100.py 20        # first 20 sites only
+
+Builds the synthetic Fortune-100 corpus (see DESIGN.md for the
+substitution rationale), runs WebRacer with automatic exploration over
+every site, and prints the reproduced Table 1 and Table 2 next to the
+paper's published numbers.
+"""
+
+import sys
+
+from repro import WebRacer
+from repro.core.report import RACE_TYPES
+from repro.sites import (
+    PAPER_TABLE1,
+    PAPER_TABLE2_TOTALS,
+    build_corpus,
+)
+
+
+def main(limit: int = 100) -> None:
+    print(f"Building the synthetic Fortune-100 corpus ({limit} sites)…")
+    sites = build_corpus(master_seed=0, limit=limit)
+
+    print("Running WebRacer (auto-exploration on, filters on)…")
+    racer = WebRacer(seed=0)
+    corpus_report = racer.check_corpus(sites)
+
+    # ------------------------------------------------------------------
+    print()
+    print("Table 1 — races per site, unfiltered (reproduced vs. paper)")
+    print(f"{'Race type':16s} {'mean':>8s} {'median':>8s} {'max':>6s}    "
+          f"{'p.mean':>7s} {'p.med':>6s} {'p.max':>6s}")
+    table1 = corpus_report.table1()
+    for race_type in list(RACE_TYPES) + ["all"]:
+        row = table1[race_type]
+        paper = PAPER_TABLE1[race_type]
+        print(
+            f"{race_type:16s} {row['mean']:8.1f} {row['median']:8.1f} "
+            f"{row['max']:6.0f}    {paper['mean']:7.1f} {paper['median']:6.1f} "
+            f"{paper['max']:6d}"
+        )
+
+    # ------------------------------------------------------------------
+    print()
+    print("Table 2 — filtered races, harmful in parentheses")
+    print(f"{'Website':20s}" + "".join(f"{t[:12]:>14s}" for t in RACE_TYPES))
+    for row in corpus_report.table2():
+        cells = "".join(
+            f"{(str(row[t][0]) + ' (' + str(row[t][1]) + ')') if row[t][0] else '':>14s}"
+            for t in RACE_TYPES
+        )
+        print(f"{row['site']:20s}{cells}")
+
+    totals = corpus_report.table2_totals()
+    print("-" * 76)
+    print(
+        f"{'Total':20s}"
+        + "".join(f"{str(totals[t][0]) + ' (' + str(totals[t][1]) + ')':>14s}"
+                  for t in RACE_TYPES)
+    )
+    if limit == 100:
+        print(
+            f"{'Paper':20s}"
+            + "".join(
+                f"{str(PAPER_TABLE2_TOTALS[t][0]) + ' (' + str(PAPER_TABLE2_TOTALS[t][1]) + ')':>14s}"
+                for t in RACE_TYPES
+            )
+        )
+    print()
+    print(f"Sites with at least one filtered race: "
+          f"{corpus_report.sites_with_filtered_races()} (paper: 41)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 100)

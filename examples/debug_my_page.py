@@ -1,0 +1,100 @@
+"""Developer workflow: debugging races in your own page.
+
+Run with::
+
+    python examples/debug_my_page.py
+
+The paper expects WebRacer "to be even more effective for a developer
+debugging her own site".  This example shows that workflow on an
+unobfuscated page with three distinct bugs, walking through raw detector
+output, the effect of filtering, harmfulness triage, and the fix for each
+race — verified by re-running WebRacer on the repaired page.
+"""
+
+from repro import WebRacer
+
+BUGGY = """
+<!-- Bug 1 (Fig. 3 shape): the menu link can be clicked before #menuPanel parses -->
+<script>
+function toggleMenu() {
+  var panel = $get('menuPanel');
+  panel.style.display = (panel.style.display == 'none') ? 'block' : 'none';
+}
+</script>
+<a id="menuLink" href="javascript:toggleMenu()">Menu</a>
+
+<!-- Bug 2 (Fig. 2 shape): the hint script can erase what the user typed -->
+<input type="text" id="email" />
+<script src="placeholders.js"></script>
+
+<!-- Bug 3 (Fig. 5 shape): the analytics handler can miss the image load -->
+<img id="hero" src="hero.png">
+<script>
+document.getElementById('hero').onload = function () { heroShown = true; };
+</script>
+
+<div id="menuPanel" style="display:none">…</div>
+"""
+
+FIXED = """
+<!-- Fix 1: the panel is parsed before the link that needs it -->
+<div id="menuPanel" style="display:none">…</div>
+<script>
+function toggleMenu() {
+  var panel = $get('menuPanel');
+  panel.style.display = (panel.style.display == 'none') ? 'block' : 'none';
+}
+</script>
+<a id="menuLink" href="javascript:toggleMenu()">Menu</a>
+
+<!-- Fix 2: the hint only fills the box if the user hasn't typed -->
+<input type="text" id="email" />
+<script src="placeholders_fixed.js"></script>
+
+<!-- Fix 3: the handler is attached in the tag (ordered by rule 8) -->
+<img id="hero" src="hero.png" onload="heroShown = true;">
+"""
+
+RESOURCES = {
+    "placeholders.js": "document.getElementById('email').value = 'you@example.com';",
+    "placeholders_fixed.js": (
+        "var f = document.getElementById('email');\n"
+        "f.value = f.value || 'you@example.com';"
+    ),
+    "hero.png": "binary",
+}
+LATENCIES = {"placeholders.js": 60.0, "placeholders_fixed.js": 60.0, "hero.png": 3.0}
+
+
+def inspect(label, html):
+    racer = WebRacer(seed=11)
+    report = racer.check_page(html, resources=RESOURCES, latencies=LATENCIES,
+                              url=label)
+    print(f"--- {label} ---")
+    print(f"raw races: {len(report.raw_races)}, "
+          f"after filters: {len(report.filtered_races)}, "
+          f"harmful: {len(report.classified.harmful())}")
+    for classified in report.classified.races:
+        marker = "!!" if classified.harmful else "  "
+        print(f" {marker} {classified.describe()}")
+    if report.trace.crashes:
+        print(" hidden crashes observed:")
+        for crash in report.trace.crashes:
+            print(f"    op {crash.operation}: {crash.error!r} ({crash.where})")
+    print()
+    return report
+
+
+def main():
+    buggy_report = inspect("buggy page", BUGGY)
+    fixed_report = inspect("fixed page", FIXED)
+
+    before = len(buggy_report.classified.harmful())
+    after = len(fixed_report.classified.harmful())
+    print(f"Harmful races: {before} before fixes, {after} after.")
+    assert after == 0, "the fixed page should be race-clean"
+    print("All three races eliminated — ship it.")
+
+
+if __name__ == "__main__":
+    main()

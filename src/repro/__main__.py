@@ -1,0 +1,128 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``check PAGE.html [--resource url=path]... [--seed N] [--json out.json]``
+    Run WebRacer on a local HTML file and print the classified report.
+    ``--resource`` maps a URL referenced by the page (script src, iframe
+    src, image, XHR endpoint) to a local file.  ``--json`` additionally
+    dumps the full execution trace for offline analysis.
+
+``corpus [--sites N] [--seed N]``
+    Build the synthetic Fortune-100 corpus and print Table 1 / Table 2.
+
+``analyze TRACE.json``
+    Re-run detection, filtering and classification on a captured trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import WebRacer
+from .core.render import render_crashes, render_race_report, render_table1, render_table2
+from .core.report import RACE_TYPES
+from .core.serialize import dump_trace, load_trace
+
+
+def _print_report(report) -> int:
+    print(report.summary())
+    print(render_race_report(report.classified))
+    if report.trace.crashes:
+        print(render_crashes(report.trace.crashes))
+    return 1 if report.classified.harmful() else 0
+
+
+def cmd_check(args) -> int:
+    """Run WebRacer on a local HTML file (the `check` subcommand)."""
+    with open(args.page) as handle:
+        html = handle.read()
+    resources = {}
+    for mapping in args.resource or ():
+        url, _sep, path = mapping.partition("=")
+        if not path:
+            print(f"bad --resource {mapping!r}; expected url=path", file=sys.stderr)
+            return 2
+        with open(path) as handle:
+            resources[url] = handle.read()
+    racer = WebRacer(seed=args.seed)
+    report = racer.check_page(html, resources=resources, url=args.page)
+    status = _print_report(report)
+    if args.json:
+        dump_trace(report.trace, report.page.monitor.graph, args.json)
+        print(f"trace written to {args.json}")
+    return status
+
+
+def cmd_corpus(args) -> int:
+    """Run the Fortune-100 evaluation (the `corpus` subcommand)."""
+    from .sites import PAPER_TABLE1, PAPER_TABLE2_TOTALS, build_corpus
+
+    sites = build_corpus(master_seed=args.seed, limit=args.sites)
+    racer = WebRacer(seed=args.seed)
+    corpus_report = racer.check_corpus(sites)
+
+    print("Table 1 — unfiltered (reproduced vs. paper):")
+    print(render_table1(corpus_report.table1(), paper=PAPER_TABLE1))
+    print()
+    print("Table 2 — filtered races (harmful in parentheses):")
+    print(
+        render_table2(
+            corpus_report.table2(),
+            totals=corpus_report.table2_totals(),
+            paper_totals=PAPER_TABLE2_TOTALS if args.sites == 100 else None,
+        )
+    )
+    print(f"sites with races: {corpus_report.sites_with_filtered_races()} "
+          f"(paper 41)")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Analyse a captured trace file (the `analyze` subcommand)."""
+    loaded = load_trace(args.trace)
+    report = loaded.report(apply_filters=not args.no_filters)
+    print(f"{args.trace}: {len(loaded.trace.accesses)} accesses, "
+          f"{len(loaded.trace.operations.operations)} operations")
+    print(render_race_report(report, title=report.summary()))
+    return 1 if report.harmful() else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="WebRacer — race detection for web applications"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="check an HTML file for races")
+    check.add_argument("page", help="path to the HTML file")
+    check.add_argument("--resource", action="append", metavar="URL=PATH",
+                       help="map a sub-resource URL to a local file")
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument("--json", help="dump the trace to this file")
+    check.set_defaults(func=cmd_check)
+
+    corpus = sub.add_parser("corpus", help="run the Fortune-100 evaluation")
+    corpus.add_argument("--sites", type=int, default=100)
+    corpus.add_argument("--seed", type=int, default=0)
+    corpus.set_defaults(func=cmd_corpus)
+
+    analyze = sub.add_parser("analyze", help="analyse a captured trace")
+    analyze.add_argument("trace", help="path to a trace JSON file")
+    analyze.add_argument("--no-filters", action="store_true")
+    analyze.set_defaults(func=cmd_analyze)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Automatic exploration (paper, Section 5.2.2).
+
+After the window ``load`` event, WebRacer systematically dispatches the
+user-action events that pages registered handlers for, clicks every link
+whose ``href`` uses the ``javascript:`` protocol, and simulates typing into
+every text box — surfacing races that manual browsing would only hit by
+luck (the paper's seven harmful function races all needed simulated mouse
+events to appear).
+
+All dispatches are queued as separate ``user`` tasks so the scheduler can
+interleave them; doing the exploration *after* load keeps WebRacer's output
+easy to read (all automatically-dispatched events are together), exactly as
+the paper chose to.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..dom.element import Element
+
+#: Event types dispatched automatically (the paper's list, Section 5.2.2).
+AUTO_EVENTS: List[str] = [
+    "mouseover",
+    "mousemove",
+    "mouseout",
+    "mouseup",
+    "mousedown",
+    "keydown",
+    "keyup",
+    "keypress",
+    "change",
+    "input",
+    "focus",
+    "blur",
+]
+
+#: Input types that accept typed text.
+_TYPEABLE_INPUT_TYPES = frozenset(["", "text", "search", "email", "url", "tel", "password"])
+
+
+class AutoExplorer:
+    """Queues the automatic-exploration interactions for a page."""
+
+    def __init__(self, page):
+        self.page = page
+        self.dispatched: List[str] = []
+
+    def explore(self) -> None:
+        """Queue all automatic interactions (run after window load)."""
+        page = self.page
+        delay = 0.0
+        for window in page.window.all_windows():
+            document = window.document
+            for element in document.all_elements():
+                for event_type in AUTO_EVENTS:
+                    if element.has_any_handler(event_type):
+                        page.queue_user_event(event_type, element, delay=delay)
+                        self.dispatched.append(f"{event_type}:{element!r}")
+                        delay += 0.25
+                if self._is_javascript_link(element) or (
+                    element.has_any_handler("click")
+                ):
+                    page.queue_user_event("click", element, delay=delay)
+                    self.dispatched.append(f"click:{element!r}")
+                    delay += 0.25
+                if self._is_typeable(element):
+                    page.queue_typing(element, "user input", delay=delay)
+                    self.dispatched.append(f"type:{element!r}")
+                    delay += 0.25
+
+    # ------------------------------------------------------------------
+    # eager exploration (during page load)
+
+    def consider_eager(self, element: Element) -> None:
+        """Simulate an impatient user acting on a freshly-parsed element.
+
+        Partial page rendering lets users interact before the page finishes
+        loading (paper, Section 2.1) — that interleaving is what makes HTML
+        and function races *harmful* rather than latent.  When eager
+        exploration is on, every clickable/typeable element gets a user
+        interaction queued immediately after it appears, racing with the
+        rest of the page load.
+        """
+        page = self.page
+        if self._is_javascript_link(element) or element.has_any_handler("click"):
+            page.queue_user_event("click", element, delay=0.1)
+            self.dispatched.append(f"eager-click:{element!r}")
+        if element.has_any_handler("mouseover"):
+            page.queue_user_event("mouseover", element, delay=0.15)
+            self.dispatched.append(f"eager-mouseover:{element!r}")
+        if self._is_typeable(element):
+            page.queue_typing(element, "user input", delay=0.1)
+            self.dispatched.append(f"eager-type:{element!r}")
+
+    @staticmethod
+    def _is_javascript_link(element: Element) -> bool:
+        if element.tag != "a":
+            return False
+        href = element.get_attribute("href") or ""
+        return href.startswith("javascript:")
+
+    @staticmethod
+    def _is_typeable(element: Element) -> bool:
+        if element.tag == "textarea":
+            return True
+        if element.tag != "input":
+            return False
+        input_type = (element.get_attribute("type") or "").lower()
+        return input_type in _TYPEABLE_INPUT_TYPES

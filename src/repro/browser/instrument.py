@@ -1,0 +1,376 @@
+"""The monitor: WebRacer's instrumentation layer.
+
+The paper instrumented ~30 WebKit source files so that HTML parsing, script
+execution, event dispatch and DOM mutation all report to the race detector
+(Section 5.2.1).  In this reproduction the equivalent surface area funnels
+through one object, the :class:`Monitor`:
+
+* it owns the execution :class:`~repro.core.trace.Trace`, the happens-before
+  :class:`~repro.core.hb.rules.RuleEngine`, and the race detector(s);
+* it tracks the *current operation* (operations are atomic; a stack is still
+  needed because inline event dispatch nests handler execution inside a
+  script — Appendix A);
+* it adapts the three instrumentation sources onto logical locations:
+  the JS interpreter's :class:`~repro.js.interpreter.AccessHooks` (``JSVar``),
+  the Document's :class:`~repro.dom.document.DomInstrumentation` (``HElem``),
+  and explicit calls from the bindings/dispatcher (``Eloc``, DOM-property
+  writes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..core.access import READ, WRITE, Access
+from ..core.detector import RaceDetector
+from ..core.full_detector import FullHistoryDetector
+from ..core.hb.graph import HBGraph
+from ..core.hb.rules import RuleEngine
+from ..core.locations import (
+    ATTR_SLOT,
+    CollectionLocation,
+    DomPropLocation,
+    ElementKey,
+    HElemLocation,
+    Location,
+    PropLocation,
+    VarLocation,
+)
+from ..core.operations import Operation
+from ..core.trace import Trace
+from ..dom.document import Document, DomInstrumentation
+from ..dom.element import Element
+from ..dom.node import Node
+from ..js.errors import ScriptCrash
+from ..js.interpreter import AccessHooks
+
+
+class Monitor:
+    """Central instrumentation hub for one browser/page run."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        full_history: bool = False,
+        report_all_per_location: bool = False,
+    ):
+        self.enabled = enabled
+        self.trace = Trace()
+        self.graph = HBGraph()
+        self.rules = RuleEngine(self.graph)
+        self.detector = RaceDetector(
+            self.graph, report_all_per_location=report_all_per_location
+        )
+        self.trace.subscribe(self.detector.on_access)
+        self.full_detector: Optional[FullHistoryDetector] = None
+        if full_history:
+            self.full_detector = FullHistoryDetector(self.graph)
+            self.trace.subscribe(self.full_detector.on_access)
+        self._op_stack: List[Operation] = []
+        #: element node_id -> create(E) operation id (Section 3.2 create()).
+        self.create_ops: Dict[int, int] = {}
+        #: (op_id, location) pairs read, for read-before-write details.
+        self._op_reads: Set[Tuple[int, Location]] = set()
+        self.js_hooks = _JsHooks(self)
+
+    # ------------------------------------------------------------------
+    # operations
+
+    def new_operation(self, kind: str, label: str = "", meta=None, parent=None) -> Operation:
+        """Allocate an operation and register it in the HB graph."""
+        operation = self.trace.operations.create(kind, label, meta, parent)
+        self.graph.add_operation(operation.op_id)
+        return operation
+
+    def begin_operation(self, operation: Operation) -> None:
+        """Push an operation; subsequent accesses belong to it."""
+        self._op_stack.append(operation)
+
+    def end_operation(self, operation: Operation) -> None:
+        """Pop an operation (tolerating inline-dispatch segment swaps)."""
+        if not self._op_stack:
+            raise RuntimeError(f"operation stack empty while ending {operation}")
+        top = self._op_stack[-1]
+        # Inline dispatch may have split `operation` into segments; the top
+        # is then the live segment whose parent chain leads back to it.
+        if top is not operation and self._segment_root(top) is not operation:
+            raise RuntimeError(
+                f"operation stack mismatch: ending {operation}, stack top is {top}"
+            )
+        self._op_stack.pop()
+
+    def _segment_root(self, operation: Operation) -> Operation:
+        from ..core.operations import SEGMENT
+
+        while operation.kind == SEGMENT and operation.parent is not None:
+            operation = self.trace.operations.get(operation.parent)
+        return operation
+
+    @property
+    def current(self) -> Optional[Operation]:
+        """The operation currently executing (top of stack), or None."""
+        return self._op_stack[-1] if self._op_stack else None
+
+    def current_id(self) -> int:
+        """Id of the current operation; raises outside any operation."""
+        operation = self.current
+        if operation is None:
+            raise RuntimeError("memory access outside any operation")
+        return operation.op_id
+
+    def replace_current(self, operation: Operation) -> Operation:
+        """Swap the top of the operation stack (inline-dispatch splitting)."""
+        if not self._op_stack:
+            raise RuntimeError("no current operation to replace")
+        previous = self._op_stack[-1]
+        self._op_stack[-1] = operation
+        return previous
+
+    def operation_meta(self, key: str) -> Any:
+        """Read a meta key from the current operation (or None)."""
+        operation = self.current
+        return operation.meta.get(key) if operation is not None else None
+
+    # ------------------------------------------------------------------
+    # generic access recording
+
+    def record(
+        self,
+        kind: str,
+        location: Location,
+        is_call: bool = False,
+        is_function_decl: bool = False,
+        detail: Optional[dict] = None,
+    ) -> Optional[Access]:
+        """Record one logical access by the current operation."""
+        if not self.enabled or not self._op_stack:
+            return None
+        op_id = self.current_id()
+        detail = dict(detail) if detail else {}
+        if kind == READ:
+            self._op_reads.add((op_id, location))
+        else:
+            if (op_id, location) in self._op_reads:
+                detail.setdefault("read_before_write", True)
+            if self.operation_meta("delayed_script"):
+                detail.setdefault("deliberate_delay", True)
+        access = Access(
+            kind=kind,
+            op_id=op_id,
+            location=location,
+            is_call=is_call,
+            is_function_decl=is_function_decl,
+            detail=detail,
+        )
+        return self.trace.record(access)
+
+    def record_crash(self, error: Any, where: str = "") -> None:
+        """Record a hidden script crash for the current operation."""
+        operation = self.current
+        crash = ScriptCrash(
+            operation.op_id if operation else None, error, where=where
+        )
+        self.trace.record_crash(crash)
+
+    # ------------------------------------------------------------------
+    # Eloc accesses (Section 4.3)
+
+    def handler_write(
+        self,
+        target_key: ElementKey,
+        event: str,
+        handler_key: str = ATTR_SLOT,
+        removal: bool = False,
+    ) -> None:
+        """Eloc write: a handler was installed/removed (Section 4.3)."""
+        from ..core.locations import HandlerLocation
+
+        detail = {"removal": True} if removal else None
+        self.record(
+            WRITE, HandlerLocation(target_key, event, handler_key), detail=detail
+        )
+
+    def handler_read(
+        self, target_key: ElementKey, event: str, handler_key: str = ATTR_SLOT
+    ) -> None:
+        """Eloc read: a handler slot inspected/executed (Section 4.3)."""
+        from ..core.locations import HandlerLocation
+
+        self.record(READ, HandlerLocation(target_key, event, handler_key))
+
+    # ------------------------------------------------------------------
+    # timer slots (Section 7 extension)
+
+    def timer_slot_write(self, timer_id: int, clearing: bool = False) -> None:
+        """Timer created or cleared (the Section 7 extension)."""
+        from ..core.locations import TimerSlotLocation
+
+        detail = {"clearing": True} if clearing else None
+        self.record(WRITE, TimerSlotLocation(timer_id), detail=detail)
+
+    def timer_slot_read(self, timer_id: int) -> None:
+        """Timer fired: the slot is read by the callback operation."""
+        from ..core.locations import TimerSlotLocation
+
+        self.record(READ, TimerSlotLocation(timer_id))
+
+    # ------------------------------------------------------------------
+    # DOM property accesses (Section 4.1 "Additional Cases")
+
+    def dom_prop_write(
+        self, element: Element, name: str, user_input: bool = False
+    ) -> None:
+        """DOM-property write (form values etc., Section 4.1)."""
+        detail = {"user_input": True} if user_input else None
+        self.record(
+            WRITE,
+            DomPropLocation(element.element_key, name, tag=element.tag),
+            detail=detail,
+        )
+
+    def dom_prop_read(self, element: Element, name: str) -> None:
+        """DOM-property read (form values etc., Section 4.1)."""
+        self.record(READ, DomPropLocation(element.element_key, name, tag=element.tag))
+
+    # ------------------------------------------------------------------
+    # structural DOM instrumentation (Section 4.2)
+
+    def make_dom_instrumentation(self) -> DomInstrumentation:
+        """A DomInstrumentation adapter wired to this monitor."""
+        return _DomHooks(self)
+
+    def note_created(self, element: Element) -> None:
+        """Record create(E) = the current operation, first insertion wins."""
+        if element.node_id not in self.create_ops and self._op_stack:
+            self.create_ops[element.node_id] = self.current_id()
+
+    def create_op_of(self, element) -> Optional[int]:
+        """The create(E) operation id for an element, if known."""
+        return self.create_ops.get(getattr(element, "node_id", -1))
+
+    # ------------------------------------------------------------------
+    # results
+
+    @property
+    def races(self):
+        """Races reported by the online detector so far."""
+        return self.detector.races
+
+    def hb(self, a: int, b: int) -> bool:
+        """Does operation ``a`` happen before ``b``?"""
+        return self.graph.happens_before(a, b)
+
+
+class _JsHooks(AccessHooks):
+    """Adapter: interpreter access hooks -> JSVar logical locations."""
+
+    def __init__(self, monitor: Monitor):
+        self.monitor = monitor
+
+    def var_read(self, cell_id: int, name: str, is_call: bool = False) -> None:
+        """Closure-cell read -> VarLocation access."""
+        self.monitor.record(READ, VarLocation(cell_id, name), is_call=is_call)
+
+    def var_write(
+        self,
+        cell_id: int,
+        name: str,
+        is_function_decl: bool = False,
+        writes_function: bool = False,
+    ) -> None:
+        """Closure-cell write -> VarLocation access."""
+        detail = {"writes_function": True} if writes_function else None
+        self.monitor.record(
+            WRITE,
+            VarLocation(cell_id, name),
+            is_function_decl=is_function_decl,
+            detail=detail,
+        )
+
+    def prop_read(self, object_id: int, name: str, is_call: bool = False) -> None:
+        """Object-property read -> PropLocation access."""
+        self.monitor.record(READ, PropLocation(object_id, name), is_call=is_call)
+
+    def prop_write(
+        self,
+        object_id: int,
+        name: str,
+        is_function_decl: bool = False,
+        writes_function: bool = False,
+    ) -> None:
+        """Object-property write -> PropLocation access."""
+        detail = {"writes_function": True} if writes_function else None
+        self.monitor.record(
+            WRITE,
+            PropLocation(object_id, name),
+            is_function_decl=is_function_decl,
+            detail=detail,
+        )
+
+
+class _DomHooks(DomInstrumentation):
+    """Adapter: Document structural events -> HElem/JSVar accesses."""
+
+    def __init__(self, monitor: Monitor):
+        self.monitor = monitor
+
+    def element_inserted(self, element: Element, parent: Node, index: int) -> None:
+        """HElem + structural writes for an insertion (Section 4.2)."""
+        monitor = self.monitor
+        monitor.note_created(element)
+        # Write the element's own logical location (Section 4.2).
+        monitor.record(WRITE, HElemLocation(element.element_key))
+        # Write the collection buckets it joins.
+        document = element.home_document
+        if document is not None:
+            for bucket in Document.categories_of(element):
+                kind, _sep, key = bucket.partition(":")
+                monitor.record(
+                    WRITE, CollectionLocation(document.doc_id, kind, key)
+                )
+        # Structural JS-heap writes (Section 4.1): childNodes on the parent,
+        # parentNode on the child.  (The paper indexes childNodes[i]; we use
+        # one location per parent — a documented coarsening that only makes
+        # the race net wider.)
+        if isinstance(parent, Element):
+            monitor.record(
+                WRITE,
+                DomPropLocation(parent.element_key, "childNodes", tag=parent.tag),
+            )
+        monitor.record(
+            WRITE,
+            DomPropLocation(element.element_key, "parentNode", tag=element.tag),
+        )
+
+    def element_removed(self, element: Element, parent: Node) -> None:
+        """HElem + structural writes for a removal (Section 4.2)."""
+        monitor = self.monitor
+        monitor.record(WRITE, HElemLocation(element.element_key))
+        document = element.home_document
+        if document is not None:
+            for bucket in Document.categories_of(element):
+                kind, _sep, key = bucket.partition(":")
+                monitor.record(
+                    WRITE, CollectionLocation(document.doc_id, kind, key)
+                )
+        if isinstance(parent, Element):
+            monitor.record(
+                WRITE,
+                DomPropLocation(parent.element_key, "childNodes", tag=parent.tag),
+            )
+        monitor.record(
+            WRITE,
+            DomPropLocation(element.element_key, "parentNode", tag=element.tag),
+        )
+
+    def element_read(
+        self, document: Document, key: ElementKey, found: bool, via: str
+    ) -> None:
+        """HElem read from a query API (hits and misses)."""
+        self.monitor.record(
+            READ, HElemLocation(key), detail={"found": found, "via": via}
+        )
+
+    def collection_read(self, document: Document, kind: str, key: str) -> None:
+        """Read of a document-level element collection."""
+        self.monitor.record(READ, CollectionLocation(document.doc_id, kind, key))

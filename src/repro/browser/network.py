@@ -1,0 +1,98 @@
+"""Simulated network.
+
+The paper's races are triggered by "variation in network bandwidth, CPU
+resources, or the timing of user input events" (Section 2.1).  This module
+supplies the network half: resources (script files, iframe HTML, images,
+XHR endpoints) live in an in-memory map, and each fetch completes after a
+*seeded pseudo-random latency*, so the same page under different seeds
+loads its sub-resources in different orders — the substitution for the
+authors' real Fortune-100 page loads (see DESIGN.md).
+
+Latency model: uniform in ``[min_latency, max_latency]`` ms, overridable
+per-URL (``latencies``) for experiments that need a specific winner — e.g.
+forcing the Fig. 4 iframe to load faster than 20ms.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from .event_loop import EventLoop
+
+
+@dataclass
+class FetchResult:
+    """Outcome of a completed fetch."""
+
+    url: str
+    ok: bool
+    content: str = ""
+    status: int = 200
+
+
+class NetworkSimulator:
+    """Seeded-latency resource fetcher."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        resources: Optional[Dict[str, str]] = None,
+        seed: int = 0,
+        min_latency: float = 5.0,
+        max_latency: float = 120.0,
+        latencies: Optional[Dict[str, float]] = None,
+    ):
+        self.loop = loop
+        self.resources: Dict[str, str] = dict(resources) if resources else {}
+        self.rng = random.Random(seed)
+        self.min_latency = min_latency
+        self.max_latency = max_latency
+        self.latencies: Dict[str, float] = dict(latencies) if latencies else {}
+        self.fetch_count = 0
+
+    # ------------------------------------------------------------------
+
+    def add_resource(self, url: str, content: str) -> None:
+        """Register (or replace) a resource body for a URL."""
+        self.resources[url] = content
+
+    def set_latency(self, url: str, latency: float) -> None:
+        """Pin a fixed latency for a URL."""
+        self.latencies[url] = latency
+
+    def latency_for(self, url: str) -> float:
+        """The latency a fetch of ``url`` will take (pinned or drawn)."""
+        fixed = self.latencies.get(url)
+        if fixed is not None:
+            return fixed
+        if self.max_latency <= self.min_latency:
+            return self.min_latency
+        return self.rng.uniform(self.min_latency, self.max_latency)
+
+    def fetch(
+        self,
+        url: str,
+        on_complete: Callable[[FetchResult], None],
+        kind: str = "network",
+    ) -> float:
+        """Start an asynchronous fetch; returns the chosen latency.
+
+        ``on_complete`` runs as an event-loop task once the latency
+        elapses.  Unknown URLs complete with ``ok=False`` / status 404 —
+        pages must tolerate missing resources like real browsers do.
+        """
+        self.fetch_count += 1
+        latency = self.latency_for(url)
+        if url in self.resources:
+            result = FetchResult(url=url, ok=True, content=self.resources[url])
+        else:
+            result = FetchResult(url=url, ok=False, content="", status=404)
+        self.loop.post(
+            lambda: on_complete(result),
+            delay=latency,
+            kind=kind,
+            label=f"fetch {url}",
+        )
+        return latency

@@ -1,0 +1,87 @@
+"""Task schedulers — the event loop's tie-breaking policy.
+
+Real browsers' event ordering varies with network bandwidth, CPU speed and
+user timing (paper, Section 2.1).  In the simulator that nondeterminism has
+two sources: seeded network latencies (which decide *when* tasks become
+ready) and the scheduler (which decides *which* of several equally-ready
+tasks runs first).  Three policies are provided:
+
+* :class:`FifoScheduler` — deterministic enqueue order; the "everything is
+  fast and orderly" browser.
+* :class:`SeededRandomScheduler` — uniformly random among the ready set,
+  from an explicit seed; different seeds explore different interleavings of
+  the same page.
+* :class:`AdversarialScheduler` — prefers task kinds by a priority list,
+  e.g. run user events and timers before parser steps to force the
+  partial-page-rendering interleavings that expose races.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from .event_loop import Task
+
+
+class Scheduler:
+    """Strategy interface: pick one task from the ready candidates."""
+
+    def pick(self, candidates: Sequence[Task]) -> Task:
+        """Choose which of the equally-ready tasks runs next."""
+        raise NotImplementedError
+
+
+class FifoScheduler(Scheduler):
+    """First-enqueued first-run among equally-ready tasks."""
+
+    def pick(self, candidates: Sequence[Task]) -> Task:
+        """Pick the earliest-enqueued candidate."""
+        return min(candidates, key=lambda task: task.seq)
+
+
+class SeededRandomScheduler(Scheduler):
+    """Uniform random choice from an explicit seed."""
+
+    def __init__(self, seed: int = 0, rng: Optional[random.Random] = None):
+        self.rng = rng if rng is not None else random.Random(seed)
+
+    def pick(self, candidates: Sequence[Task]) -> Task:
+        """Pick uniformly at random from the candidates."""
+        return self.rng.choice(list(candidates))
+
+
+class AdversarialScheduler(Scheduler):
+    """Prefer task kinds in a given order; FIFO within a kind.
+
+    The default priority runs user events first, then timers, network
+    completions, and parser steps last — maximally delaying page
+    construction relative to everything else, which is the interleaving
+    that makes HTML/function races bite.
+    """
+
+    DEFAULT_PRIORITY: List[str] = ["user", "timer", "network", "dispatch", "parse"]
+
+    def __init__(self, priority: Optional[List[str]] = None):
+        self.priority = list(priority) if priority is not None else list(self.DEFAULT_PRIORITY)
+
+    def _rank(self, task: Task) -> int:
+        try:
+            return self.priority.index(task.kind)
+        except ValueError:
+            return len(self.priority)
+
+    def pick(self, candidates: Sequence[Task]) -> Task:
+        """Pick by kind priority, FIFO within a kind."""
+        return min(candidates, key=lambda task: (self._rank(task), task.seq))
+
+
+def make_scheduler(policy: str = "fifo", seed: int = 0) -> Scheduler:
+    """Factory: ``"fifo"``, ``"random"``, or ``"adversarial"``."""
+    if policy == "fifo":
+        return FifoScheduler()
+    if policy == "random":
+        return SeededRandomScheduler(seed)
+    if policy == "adversarial":
+        return AdversarialScheduler()
+    raise ValueError(f"unknown scheduler policy {policy!r}")

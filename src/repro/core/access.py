@@ -1,0 +1,61 @@
+"""Memory-access records.
+
+An :class:`Access` is one read or write of a logical location by an
+operation.  Accesses carry two classification flags used to tell the
+paper's *function races* (Section 2.4) apart from ordinary variable races:
+
+* ``is_call`` — the read resolved an identifier in order to invoke it;
+* ``is_function_decl`` — the write was the hoisted initialization of a
+  ``function f() {...}`` declaration (the paper models declarations as
+  scope-initial writes, Section 4.1).
+
+A race between an ``is_call`` read and an ``is_function_decl`` write (or a
+CHC-unordered pair involving a declaration write) is a function race: the
+invocation may happen before the declaring script is parsed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from .locations import Location
+
+READ = "read"
+WRITE = "write"
+
+
+@dataclass
+class Access:
+    """One memory access in the execution trace."""
+
+    kind: str  # READ or WRITE
+    op_id: int
+    location: Location
+    #: Monotone index in the global trace (assigned by the Trace).
+    seq: int = -1
+    is_call: bool = False
+    is_function_decl: bool = False
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_read(self) -> bool:
+        """True for read accesses."""
+        return self.kind == READ
+
+    @property
+    def is_write(self) -> bool:
+        """True for write accesses."""
+        return self.kind == WRITE
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        extra = ""
+        if self.is_call:
+            extra = " [call]"
+        elif self.is_function_decl:
+            extra = " [function-decl]"
+        return f"{self.kind} {self.location.describe()} by op {self.op_id}{extra}"
+
+    def __repr__(self) -> str:
+        return f"Access({self.describe()})"

@@ -1,0 +1,120 @@
+"""WebRacer's dynamic race detector (paper, Section 5.1).
+
+The detector keeps exactly two cells of auxiliary state per logical
+location — the last read and the last write — so it scales with the number
+of locations, not the number of operations.  On each access it asks the
+happens-before relation whether the stored operation *Can Happen
+Concurrently* (CHC) with the current one and reports a race if so:
+
+* on a **read**: race if CHC(LastWrite[l], op) — a read-write race;
+* on a **write**: race if CHC(LastWrite[l], op) (write-write) or
+  CHC(LastRead[l], op) (read-write).
+
+The paper notes (and we reproduce in ``full_detector``/E10) that keeping
+only the most recent access per slot can miss races.  Like the paper's
+tool, at most one race is reported per location per run (footnote 13);
+``report_all_per_location=True`` lifts that for experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from .access import Access
+from .hb.graph import HBGraph
+from .locations import Location
+
+READ_WRITE = "read-write"
+WRITE_WRITE = "write-write"
+
+
+@dataclass
+class Race:
+    """A reported race: two CHC-unordered accesses, one of them a write."""
+
+    location: Location
+    prior: Access
+    current: Access
+    kind: str  # READ_WRITE or WRITE_WRITE
+
+    def op_pair(self) -> tuple:
+        """The two racing operation ids as a tuple."""
+        return (self.prior.op_id, self.current.op_id)
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        return (
+            f"{self.kind} race on {self.location.describe()}: "
+            f"op {self.prior.op_id} ({self.prior.kind}) vs "
+            f"op {self.current.op_id} ({self.current.kind})"
+        )
+
+    def __repr__(self) -> str:
+        return f"Race({self.describe()})"
+
+
+class RaceDetector:
+    """The constant-memory LastRead/LastWrite detector."""
+
+    def __init__(self, hb: HBGraph, report_all_per_location: bool = False):
+        self.hb = hb
+        self.report_all_per_location = report_all_per_location
+        self.last_read: Dict[Location, Access] = {}
+        self.last_write: Dict[Location, Access] = {}
+        self.races: List[Race] = []
+        self._reported_locations: Set[Location] = set()
+        #: Number of CHC queries issued — the cost metric for E9.
+        self.chc_queries = 0
+
+    # ------------------------------------------------------------------
+
+    def _chc(self, prior: Optional[Access], current: Access) -> bool:
+        """CHC with ⊥ handling: an empty slot can never race."""
+        if prior is None:
+            return False
+        self.chc_queries += 1
+        if prior.op_id == current.op_id:
+            return False
+        return self.hb.concurrent(prior.op_id, current.op_id)
+
+    def _report(self, prior: Access, current: Access, kind: str) -> None:
+        if (
+            not self.report_all_per_location
+            and current.location in self._reported_locations
+        ):
+            return
+        self._reported_locations.add(current.location)
+        self.races.append(
+            Race(location=current.location, prior=prior, current=current, kind=kind)
+        )
+
+    def on_access(self, access: Access) -> None:
+        """Process one access (subscribe this to the trace)."""
+        location = access.location
+        if access.is_read:
+            prior_write = self.last_write.get(location)
+            if self._chc(prior_write, access):
+                self._report(prior_write, access, READ_WRITE)
+            self.last_read[location] = access
+            return
+        # write
+        prior_write = self.last_write.get(location)
+        prior_read = self.last_read.get(location)
+        write_races = self._chc(prior_write, access)
+        read_races = self._chc(prior_read, access)
+        if write_races:
+            self._report(prior_write, access, WRITE_WRITE)
+        if read_races and (not write_races or self.report_all_per_location):
+            self._report(prior_read, access, READ_WRITE)
+        self.last_write[location] = access
+
+    # ------------------------------------------------------------------
+
+    def races_at(self, location: Location) -> List[Race]:
+        """Races reported on one location."""
+        return [race for race in self.races if race.location == location]
+
+    def race_count(self) -> int:
+        """Total races reported so far."""
+        return len(self.races)

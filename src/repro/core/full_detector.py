@@ -1,0 +1,85 @@
+"""Complete access-history race detector.
+
+The paper's detector keeps one read and one write slot per location and
+acknowledges (Section 5.1, "Limitation") that it can miss races: with
+operations ``1: read e || 2: write e || 3: read e`` where only ``1 ≺ 2``,
+the schedule ``3 · 1 · 2`` hides the 2–3 race because by the time 2
+executes, the read slot only remembers 1.
+
+This detector keeps the *entire* access history per location and checks the
+current access against every prior access, so it reports every racing pair
+visible in the executed schedule.  It exists to quantify the constant-memory
+detector's miss rate (experiment E10); the paper's detector remains the one
+producing the headline numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .access import Access
+from .detector import READ_WRITE, WRITE_WRITE, Race
+from .hb.graph import HBGraph
+from .locations import Location
+
+
+class FullHistoryDetector:
+    """Race detector that remembers every access per location."""
+
+    def __init__(self, hb: HBGraph, dedup_per_location: bool = False):
+        self.hb = hb
+        self.dedup_per_location = dedup_per_location
+        self.history: Dict[Location, List[Access]] = {}
+        self.races: List[Race] = []
+        self._seen_pairs: Set[Tuple[Location, int, int]] = set()
+        self._reported_locations: Set[Location] = set()
+        self.chc_queries = 0
+
+    def on_access(self, access: Access) -> None:
+        """Check the access against every prior access at its location."""
+        location = access.location
+        history = self.history.setdefault(location, [])
+        for prior in history:
+            if prior.op_id == access.op_id:
+                continue
+            if not (prior.is_write or access.is_write):
+                continue
+            self.chc_queries += 1
+            if not self.hb.concurrent(prior.op_id, access.op_id):
+                continue
+            self._report(prior, access)
+        history.append(access)
+
+    def _report(self, prior: Access, current: Access) -> None:
+        location = current.location
+        if self.dedup_per_location and location in self._reported_locations:
+            return
+        pair_key = (
+            location,
+            min(prior.op_id, current.op_id),
+            max(prior.op_id, current.op_id),
+        )
+        if pair_key in self._seen_pairs:
+            return
+        self._seen_pairs.add(pair_key)
+        self._reported_locations.add(location)
+        kind = WRITE_WRITE if (prior.is_write and current.is_write) else READ_WRITE
+        self.races.append(
+            Race(location=location, prior=prior, current=current, kind=kind)
+        )
+
+    # ------------------------------------------------------------------
+
+    def race_count(self) -> int:
+        """Total races reported so far."""
+        return len(self.races)
+
+    def racing_locations(self) -> Set[Location]:
+        """The set of locations with at least one race."""
+        return {race.location for race in self.races}
+
+    def missed_by(self, constant_memory_races: List[Race]) -> List[Race]:
+        """Races this detector found whose location the constant-memory
+        detector reported nothing for — the Section 5.1 misses."""
+        reported = {race.location for race in constant_memory_races}
+        return [race for race in self.races if race.location not in reported]

@@ -1,0 +1,15 @@
+"""Happens-before machinery: graph, the paper's rules, vector clocks."""
+
+from .graph import Edge, HBGraph, chc, transitive_closure_pairs
+from .rules import ALL_RULES, RuleEngine
+from .vector_clock import ChainVectorClocks
+
+__all__ = [
+    "ALL_RULES",
+    "ChainVectorClocks",
+    "Edge",
+    "HBGraph",
+    "RuleEngine",
+    "chc",
+    "transitive_closure_pairs",
+]

@@ -1,0 +1,194 @@
+"""Happens-before graph (paper, Section 5.2.1).
+
+WebRacer "represents the happens-before relation rather directly as a graph
+structure".  We do the same, with one optimization the paper's overhead
+discussion motivates: *frozen-prefix ancestor caching*.
+
+The browser adds operations in execution order and obeys the discipline
+that **every incoming edge of an operation is added before that operation
+performs its first access** (edges go from older to newer operations — all
+17 rules order an existing operation before one being created or about to
+run).  Consequently, when operation ``b`` starts executing, the subgraph of
+operations with id ≤ ``b`` is frozen: its ancestor set can be computed once
+and cached.  CHC queries during ``b``'s execution — the hot path, one per
+memory access — then become two set-membership tests.
+
+The invariant is checked on every ``add_edge`` so a buggy rule application
+fails loudly instead of corrupting reachability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A happens-before edge with the rule that introduced it."""
+
+    src: int
+    dst: int
+    rule: str = ""
+
+
+class HBGraph:
+    """A DAG over operation ids with cached backward reachability."""
+
+    def __init__(self, assert_forward: bool = True):
+        self.assert_forward = assert_forward
+        self._succ: Dict[int, List[int]] = {}
+        self._pred: Dict[int, List[int]] = {}
+        self._edges: List[Edge] = []
+        self._edge_set: Set[Tuple[int, int]] = set()
+        self._ancestor_cache: Dict[int, FrozenSet[int]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def add_operation(self, op_id: int) -> None:
+        """Register an operation (idempotent)."""
+        self._succ.setdefault(op_id, [])
+        self._pred.setdefault(op_id, [])
+
+    def add_edge(self, src: int, dst: int, rule: str = "") -> bool:
+        """Add ``src ≺ dst``; returns False if the edge already existed.
+
+        Enforces the forward discipline (``src < dst``) and rejects edges
+        into an operation whose ancestor set was already cached (that would
+        silently invalidate reachability answers).
+        """
+        if src == dst:
+            return False
+        if self.assert_forward and src > dst:
+            raise ValueError(
+                f"backward happens-before edge {src} -> {dst} (rule {rule!r}); "
+                "edges must point from older to newer operations"
+            )
+        if dst in self._ancestor_cache:
+            raise ValueError(
+                f"edge {src} -> {dst} (rule {rule!r}) added after operation "
+                f"{dst} was queried; incoming edges must precede execution"
+            )
+        if (src, dst) in self._edge_set:
+            return False
+        self.add_operation(src)
+        self.add_operation(dst)
+        self._succ[src].append(dst)
+        self._pred[dst].append(src)
+        self._edge_set.add((src, dst))
+        self._edges.append(Edge(src, dst, rule))
+        return True
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def ancestors(self, op_id: int) -> FrozenSet[int]:
+        """All operations that happen before ``op_id`` (transitively).
+
+        Cached; safe because the ≤ ``op_id`` subgraph is frozen by the time
+        anyone asks (see module docstring).
+        """
+        cached = self._ancestor_cache.get(op_id)
+        if cached is not None:
+            return cached
+        result: Set[int] = set()
+        stack = list(self._pred.get(op_id, ()))
+        while stack:
+            node = stack.pop()
+            if node in result:
+                continue
+            result.add(node)
+            # Reuse caches of predecessors when available.
+            cached_pred = self._ancestor_cache.get(node)
+            if cached_pred is not None:
+                result.update(cached_pred)
+            else:
+                stack.extend(self._pred.get(node, ()))
+        frozen = frozenset(result)
+        self._ancestor_cache[op_id] = frozen
+        return frozen
+
+    def happens_before(self, a: int, b: int) -> bool:
+        """True iff ``a ≺ b`` in the transitive happens-before relation."""
+        if a == b:
+            return False
+        if self.assert_forward and a > b:
+            # Forward discipline: an older id can never be reached from a
+            # newer one, so b ≺ a would require a backward edge.
+            return False
+        return a in self.ancestors(b)
+
+    def concurrent(self, a: int, b: int) -> bool:
+        """True iff neither ``a ≺ b`` nor ``b ≺ a`` (and ``a != b``)."""
+        if a == b:
+            return False
+        return not self.happens_before(a, b) and not self.happens_before(b, a)
+
+    # ------------------------------------------------------------------
+    # introspection (tests, benchmarks, reports)
+
+    @property
+    def edges(self) -> List[Edge]:
+        """All edges, with their rule labels."""
+        return list(self._edges)
+
+    def edges_by_rule(self, rule: str) -> List[Edge]:
+        """Edges introduced by one named rule."""
+        return [edge for edge in self._edges if edge.rule == rule]
+
+    def operation_ids(self) -> List[int]:
+        """All registered operation ids, sorted."""
+        return sorted(self._succ.keys())
+
+    def successors(self, op_id: int) -> List[int]:
+        """Direct HB successors of an operation."""
+        return list(self._succ.get(op_id, ()))
+
+    def predecessors(self, op_id: int) -> List[int]:
+        """Direct HB predecessors of an operation."""
+        return list(self._pred.get(op_id, ()))
+
+    def edge_count(self) -> int:
+        """Number of edges in the graph."""
+        return len(self._edges)
+
+    def has_path_uncached(self, a: int, b: int) -> bool:
+        """Reference reachability by plain DFS (used to cross-check caches)."""
+        if a == b:
+            return False
+        seen: Set[int] = set()
+        stack = [a]
+        while stack:
+            node = stack.pop()
+            for successor in self._succ.get(node, ()):
+                if successor == b:
+                    return True
+                if successor not in seen and successor <= b:
+                    seen.add(successor)
+                    stack.append(successor)
+        return False
+
+    def invalidate_caches(self) -> None:
+        """Drop ancestor caches (only needed by offline experiments)."""
+        self._ancestor_cache.clear()
+
+
+def transitive_closure_pairs(graph: HBGraph) -> Set[Tuple[int, int]]:
+    """All ordered pairs (a, b) with a ≺ b.  For small test graphs only."""
+    pairs: Set[Tuple[int, int]] = set()
+    for b in graph.operation_ids():
+        for a in graph.ancestors(b):
+            pairs.add((a, b))
+    return pairs
+
+
+def chc(graph: HBGraph, a: int, b: int) -> bool:
+    """Can-Happen-Concurrently (paper, Section 5.1).
+
+    ``CHC(A, B) = A != ⊥ ∧ B != ⊥ ∧ A ⊀ B ∧ B ⊀ A``.  The ``⊥``
+    initialization marker is operation id 0.
+    """
+    if a == 0 or b == 0:
+        return False
+    return graph.concurrent(a, b)

@@ -1,0 +1,118 @@
+"""Vector-clock representation of happens-before (paper, Section 5.2.1).
+
+The paper's WebRacer stores happens-before as a plain graph and notes that
+"repeated graph traversals contribute to the high overhead of our
+implementation; we plan to employ a more efficient vector-clock
+representation in the future."  This module implements that future work as
+an ablation (experiment E9 in DESIGN.md).
+
+Web operations do not form threads, so classic per-thread vector clocks do
+not apply directly.  We use **greedy chain decomposition**: operations are
+assigned to chains (an operation joins the chain of one of its predecessors
+when that predecessor is still the chain's tail, otherwise it starts a new
+chain).  Every operation then carries a clock mapping ``chain -> highest
+position in that chain that happens before (or at) this operation``.
+``a ≺ b`` iff ``b``'s clock covers ``a``'s position on ``a``'s chain —
+an O(1) dictionary lookup after the one-time O(V + E·C) construction.
+
+Construction is offline: build from a finished :class:`HBGraph`.  That
+matches how the ablation is used (replay CHC query streams against both
+representations) and sidesteps incremental-maintenance complexity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .graph import HBGraph
+
+
+class ChainVectorClocks:
+    """Chain-decomposed vector clocks built from a finished HB graph."""
+
+    def __init__(self, graph: HBGraph):
+        self.graph = graph
+        #: op -> (chain index, position within chain)
+        self.position: Dict[int, Tuple[int, int]] = {}
+        #: op -> {chain index -> max covered position}
+        self.clock: Dict[int, Dict[int, int]] = {}
+        self.chain_count = 0
+        self._build()
+
+    def _build(self) -> None:
+        # Operation ids respect topological order (the graph enforces
+        # forward edges), so a single increasing-id sweep suffices.
+        chain_tail: Dict[int, int] = {}  # chain -> op currently at tail
+        for op_id in self.graph.operation_ids():
+            predecessors = self.graph.predecessors(op_id)
+
+            # Chain assignment: extend a predecessor's chain if possible.
+            assigned = None
+            for pred in predecessors:
+                chain, _pos = self.position[pred]
+                if chain_tail.get(chain) == pred:
+                    assigned = chain
+                    break
+            if assigned is None:
+                assigned = self.chain_count
+                self.chain_count += 1
+                position = 0
+            else:
+                position = self.position[chain_tail[assigned]][1] + 1
+            self.position[op_id] = (assigned, position)
+            chain_tail[assigned] = op_id
+
+            # Clock: pointwise max over predecessors' clocks, plus each
+            # predecessor's own position, plus our own position.
+            clock: Dict[int, int] = {}
+            for pred in predecessors:
+                pred_clock = self.clock[pred]
+                for chain, pos in pred_clock.items():
+                    if clock.get(chain, -1) < pos:
+                        clock[chain] = pos
+                pred_chain, pred_pos = self.position[pred]
+                if clock.get(pred_chain, -1) < pred_pos:
+                    clock[pred_chain] = pred_pos
+            clock[assigned] = position
+            self.clock[op_id] = clock
+
+    # ------------------------------------------------------------------
+    # queries (same interface as HBGraph)
+
+    def happens_before(self, a: int, b: int) -> bool:
+        """a ≺ b via chain position vs. clock coverage (O(1))."""
+        if a == b:
+            return False
+        pos_a = self.position.get(a)
+        clock_b = self.clock.get(b)
+        if pos_a is None or clock_b is None:
+            return False
+        chain, position = pos_a
+        return clock_b.get(chain, -1) >= position
+
+    def concurrent(self, a: int, b: int) -> bool:
+        """Neither a ≺ b nor b ≺ a."""
+        if a == b:
+            return False
+        return not self.happens_before(a, b) and not self.happens_before(b, a)
+
+    def chc(self, a: int, b: int) -> bool:
+        """Can-Happen-Concurrently with ⊥ (id 0) handling."""
+        if a == 0 or b == 0:
+            return False
+        return self.concurrent(a, b)
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def memory_cells(self) -> int:
+        """Total clock entries — the representation's memory footprint."""
+        return sum(len(clock) for clock in self.clock.values())
+
+    def chains(self) -> List[List[int]]:
+        """The chain decomposition, for inspection and tests."""
+        result: List[List[int]] = [[] for _ in range(self.chain_count)]
+        for op_id in sorted(self.position):
+            chain, _pos = self.position[op_id]
+            result[chain].append(op_id)
+        return result

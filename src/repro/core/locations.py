@@ -1,0 +1,198 @@
+"""Logical memory locations (paper, Section 4).
+
+The web platform has no natural machine-level notion of memory access:
+operations touch JavaScript heap locations, browser-internal DOM structures,
+or both.  The paper therefore defines *logical* locations, and this module
+gives them concrete, hashable identities:
+
+* :class:`VarLocation` / :class:`PropLocation` — the ``JSVar`` family
+  (Section 4.1): closure cells and object properties (globals are properties
+  of the global object).
+* :class:`DomPropLocation` — DOM-node attributes mirrored into the JS heap
+  (``value`` of an input, ``checked`` of a checkbox, ``parentNode`` /
+  ``childNodes[i]`` writes on insertion/removal).  These are ``JSVar``
+  locations in the paper's taxonomy but carry enough structure for the form
+  filter (Section 5.3) to recognise form-field values.
+* :class:`HElemLocation` — an HTML element in a document (Section 4.2).
+  Identity is by ``id`` attribute when the element has one, so a failed
+  ``getElementById("dw")`` and the later parsing of ``<div id=dw>`` collide
+  on the same location — the HTML race of Fig. 3.
+* :class:`CollectionLocation` — a document-level element collection
+  (``document.forms``, ``document.images``, tag-name queries).  Reading the
+  collection races with inserting a member.
+* :class:`HandlerLocation` — ``Eloc`` (Section 4.3): a (target, event,
+  handler) triple.  The handler component is either a function identity (so
+  disjoint ``addEventListener`` handlers do not interfere) or the special
+  :data:`ATTR_SLOT` marker for the element's ``on<event>`` attribute slot,
+  whose read at dispatch time is the hidden racing access of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+#: Handler-slot marker for `on<event>` attributes (vs. addEventListener).
+ATTR_SLOT = "<attr>"
+
+
+@dataclass(frozen=True)
+class VarLocation:
+    """A closure/local variable cell (shared between operations)."""
+
+    cell_id: int
+    name: str = ""
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        return f"var {self.name or '?'}#{self.cell_id}"
+
+
+@dataclass(frozen=True)
+class PropLocation:
+    """A property of a JavaScript object (including globals)."""
+
+    object_id: int
+    name: str
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        return f"prop #{self.object_id}.{self.name}"
+
+
+#: Element identity: ("id", document_id, id_value) for elements with an
+#: ``id`` attribute, ("node", node_id) otherwise.
+ElementKey = Union[Tuple[str, int, str], Tuple[str, int]]
+
+
+def id_key(document_id: int, element_id: str) -> ElementKey:
+    """Identity of an element addressed by its ``id`` attribute."""
+    return ("id", document_id, element_id)
+
+
+def node_key(node_id: int) -> ElementKey:
+    """Identity of an anonymous element (no ``id`` attribute)."""
+    return ("node", node_id)
+
+
+def describe_key(key: ElementKey) -> str:
+    """Short printable form of an element key."""
+    if key[0] == "id":
+        return f"#{key[2]}"
+    return f"<node {key[1]}>"
+
+
+@dataclass(frozen=True)
+class DomPropLocation:
+    """A DOM-node attribute modelled as a JS heap write (Section 4.1)."""
+
+    element: ElementKey
+    name: str
+    #: Tag of the owning element; lets the form filter check input/textarea.
+    tag: str = ""
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        return f"{describe_key(self.element)}.{self.name}"
+
+    @property
+    def is_form_field_value(self) -> bool:
+        """True for the locations the form filter retains (Section 5.3)."""
+        return (
+            self.name in ("value", "checked", "selectedIndex")
+            and self.tag in ("input", "textarea", "select")
+        )
+
+
+@dataclass(frozen=True)
+class HElemLocation:
+    """An HTML element in a document (Section 4.2)."""
+
+    element: ElementKey
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        return f"element {describe_key(self.element)}"
+
+
+@dataclass(frozen=True)
+class CollectionLocation:
+    """A document-level element collection (forms, images, tag buckets)."""
+
+    document_id: int
+    kind: str  # "tag", "name", "forms", "images", "links", "anchors", "scripts"
+    key: str = ""
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        if self.key:
+            return f"document.{self.kind}[{self.key!r}]"
+        return f"document.{self.kind}"
+
+
+@dataclass(frozen=True)
+class TimerSlotLocation:
+    """A pending-timer slot (extension beyond the paper).
+
+    Section 7 lists uninstrumented ``clearTimeout``/``clearInterval`` as a
+    WebRacer gap: a clear may race with the execution of the handler it
+    targets.  We model the pending timer as a logical location: creating
+    the timer writes it, firing reads it, clearing writes it.  The rule-16/
+    17 edges order creation before firing, so the only races exposed are
+    the genuinely unordered clear-vs-fire pairs.
+    """
+
+    timer_id: int
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        return f"timer slot #{self.timer_id}"
+
+
+@dataclass(frozen=True)
+class HandlerLocation:
+    """``Eloc``: (target element, event type, handler) (Section 4.3)."""
+
+    element: ElementKey
+    event: str
+    #: ``ATTR_SLOT`` for the on-attribute slot, else a handler identity
+    #: (function object id as a string).
+    handler: str = ATTR_SLOT
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        where = describe_key(self.element)
+        if self.handler == ATTR_SLOT:
+            return f"{where}.on{self.event}"
+        return f"({where}, {self.event}, handler {self.handler})"
+
+
+Location = Union[
+    VarLocation,
+    PropLocation,
+    DomPropLocation,
+    HElemLocation,
+    CollectionLocation,
+    HandlerLocation,
+    TimerSlotLocation,
+]
+
+
+def location_family(location: Location) -> str:
+    """The paper's taxonomy bucket for a location.
+
+    Returns ``"jsvar"``, ``"helem"``, or ``"eloc"`` — used when classifying
+    races into the four types of Section 2 (variable / HTML / function /
+    event dispatch).  Timer slots (our Section 7 extension) classify as
+    ``jsvar``: a clear-vs-fire race is a variable-style race on browser
+    state.
+    """
+    if isinstance(
+        location, (VarLocation, PropLocation, DomPropLocation, TimerSlotLocation)
+    ):
+        return "jsvar"
+    if isinstance(location, (HElemLocation, CollectionLocation)):
+        return "helem"
+    if isinstance(location, HandlerLocation):
+        return "eloc"
+    raise TypeError(f"not a location: {location!r}")

@@ -1,0 +1,112 @@
+"""Operations — the units of atomic execution (paper, Section 3.2).
+
+During web page loading only two things ever happen: HTML gets parsed and
+script code runs.  The paper carves script execution into finer kinds so the
+happens-before rules can refer to them:
+
+* ``parse(E)`` — parsing one static HTML element,
+* ``exe(E)`` — executing the source of a script element,
+* the execution of an event handler due to an event dispatch,
+* ``cb(E)`` — a ``setTimeout`` callback,
+* ``cbi(E)`` — the i-th firing of a ``setInterval`` callback.
+
+Each operation has a unique identifier (``OpId``, an ``int`` here).  The
+appendix additionally *splits* an operation interrupted by an inline event
+dispatch into pre/post segments; segments are fresh operations linked to
+their parent via :attr:`Operation.parent`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Operation kinds, mirroring Section 3.2.
+PARSE = "parse"
+EXE = "exe"
+CB = "cb"  # setTimeout callback
+CBI = "cbi"  # setInterval callback (i-th firing)
+DISPATCH = "dispatch"  # one event-handler execution within dispi(e, T)
+SEGMENT = "segment"  # slice of an operation split by inline dispatch
+ENV = "env"  # environment pseudo-operations (initial load trigger)
+
+KINDS = frozenset([PARSE, EXE, CB, CBI, DISPATCH, SEGMENT, ENV])
+
+
+@dataclass
+class Operation:
+    """One atomic operation in an execution.
+
+    Attributes
+    ----------
+    op_id:
+        Unique identifier; the happens-before relation is over these.
+    kind:
+        One of the module-level kind constants.
+    label:
+        Human-readable description used in race reports
+        (``"exe(<script src=a.js>)"``, ``"disp0(click, #send)"``, ...).
+    meta:
+        Kind-specific details.  For ``DISPATCH`` operations the dispatcher
+        stores ``event``, ``target``, ``dispatch_index`` (the *i* of
+        ``dispi``), ``phase``, and ``current_target`` — the appendix's event
+        phasing rules read these.
+    parent:
+        For ``SEGMENT`` operations, the id of the split operation.
+    """
+
+    op_id: int
+    kind: str
+    label: str = ""
+    meta: Dict[str, Any] = field(default_factory=dict)
+    parent: Optional[int] = None
+
+    def describe(self) -> str:
+        """Label if set, else kind#id."""
+        return self.label or f"{self.kind}#{self.op_id}"
+
+    def __repr__(self) -> str:
+        return f"Operation({self.op_id}, {self.kind}, {self.label!r})"
+
+
+class OperationFactory:
+    """Allocates operations with execution-unique ids, starting at 1.
+
+    Id 0 is reserved for the detector's ``⊥`` initialization marker
+    (Section 5.1), so real operations never collide with it.
+    """
+
+    def __init__(self):
+        self._next = 1
+        self.operations: Dict[int, Operation] = {}
+
+    def create(
+        self,
+        kind: str,
+        label: str = "",
+        meta: Optional[Dict[str, Any]] = None,
+        parent: Optional[int] = None,
+    ) -> Operation:
+        """Allocate a fresh operation of the given kind."""
+        if kind not in KINDS:
+            raise ValueError(f"unknown operation kind {kind!r}")
+        operation = Operation(
+            op_id=self._next,
+            kind=kind,
+            label=label,
+            meta=dict(meta) if meta else {},
+            parent=parent,
+        )
+        self._next += 1
+        self.operations[operation.op_id] = operation
+        return operation
+
+    def get(self, op_id: int) -> Operation:
+        """Look up an operation by id."""
+        return self.operations[op_id]
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self):
+        return iter(self.operations.values())

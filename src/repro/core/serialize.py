@@ -1,0 +1,271 @@
+"""Trace serialization and offline analysis.
+
+WebRacer's instrumentation "communicates events directly to the race
+detector, rather than generating a separate event trace" (Section 5.2.1) —
+but a persisted trace enables workflows the in-browser tool cannot: capture
+once on a machine that can run pages, analyse anywhere; diff traces across
+page versions; re-run alternative detectors (full-history, vector-clock)
+without re-executing; archive evidence for a bug report.
+
+This module round-trips the complete observable record — operations, the
+labeled happens-before edges, every logical access, and hidden crashes —
+through plain JSON.  ``analyze`` replays a loaded trace through any
+detector and rebuilds the standard classified report, producing *exactly*
+the races the online run produced (a property the tests pin down).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .access import Access
+from .detector import RaceDetector
+from .filters import FilterChain
+from .full_detector import FullHistoryDetector
+from .hb.graph import HBGraph
+from .locations import (
+    CollectionLocation,
+    DomPropLocation,
+    HandlerLocation,
+    HElemLocation,
+    Location,
+    PropLocation,
+    TimerSlotLocation,
+    VarLocation,
+)
+from .report import RaceReport, build_report
+from .trace import Trace
+
+FORMAT_VERSION = 1
+
+_LOCATION_TYPES = {
+    "var": VarLocation,
+    "prop": PropLocation,
+    "domprop": DomPropLocation,
+    "helem": HElemLocation,
+    "collection": CollectionLocation,
+    "handler": HandlerLocation,
+}
+
+
+def _location_to_json(location: Location) -> Dict[str, Any]:
+    if isinstance(location, VarLocation):
+        return {"t": "var", "cell_id": location.cell_id, "name": location.name}
+    if isinstance(location, PropLocation):
+        return {"t": "prop", "object_id": location.object_id, "name": location.name}
+    if isinstance(location, DomPropLocation):
+        return {
+            "t": "domprop",
+            "element": list(location.element),
+            "name": location.name,
+            "tag": location.tag,
+        }
+    if isinstance(location, HElemLocation):
+        return {"t": "helem", "element": list(location.element)}
+    if isinstance(location, CollectionLocation):
+        return {
+            "t": "collection",
+            "document_id": location.document_id,
+            "kind": location.kind,
+            "key": location.key,
+        }
+    if isinstance(location, HandlerLocation):
+        return {
+            "t": "handler",
+            "element": list(location.element),
+            "event": location.event,
+            "handler": location.handler,
+        }
+    if isinstance(location, TimerSlotLocation):
+        return {"t": "timer", "timer_id": location.timer_id}
+    raise TypeError(f"cannot serialize location {location!r}")
+
+
+def _location_from_json(data: Dict[str, Any]) -> Location:
+    kind = data["t"]
+    if kind == "var":
+        return VarLocation(cell_id=data["cell_id"], name=data["name"])
+    if kind == "prop":
+        return PropLocation(object_id=data["object_id"], name=data["name"])
+    if kind == "domprop":
+        return DomPropLocation(
+            element=tuple(data["element"]), name=data["name"], tag=data["tag"]
+        )
+    if kind == "helem":
+        return HElemLocation(element=tuple(data["element"]))
+    if kind == "collection":
+        return CollectionLocation(
+            document_id=data["document_id"], kind=data["kind"], key=data["key"]
+        )
+    if kind == "handler":
+        return HandlerLocation(
+            element=tuple(data["element"]),
+            event=data["event"],
+            handler=data["handler"],
+        )
+    if kind == "timer":
+        return TimerSlotLocation(timer_id=data["timer_id"])
+    raise ValueError(f"unknown location type {kind!r}")
+
+
+def trace_to_dict(trace: Trace, graph: HBGraph) -> Dict[str, Any]:
+    """Serialize a trace + happens-before graph to a JSON-able dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "operations": [
+            {
+                "op_id": op.op_id,
+                "kind": op.kind,
+                "label": op.label,
+                "meta": _jsonable_meta(op.meta),
+                "parent": op.parent,
+            }
+            for op in trace.operations
+        ],
+        "edges": [
+            {"src": edge.src, "dst": edge.dst, "rule": edge.rule}
+            for edge in graph.edges
+        ],
+        "accesses": [
+            {
+                "kind": access.kind,
+                "op_id": access.op_id,
+                "location": _location_to_json(access.location),
+                "is_call": access.is_call,
+                "is_function_decl": access.is_function_decl,
+                "detail": _jsonable_meta(access.detail),
+            }
+            for access in trace.accesses
+        ],
+        "crashes": [
+            {
+                "operation": crash.operation,
+                "kind": crash.kind,
+                "message": str(crash.error),
+                "where": crash.where,
+            }
+            for crash in trace.crashes
+        ],
+    }
+
+
+def _jsonable_meta(meta: Dict[str, Any]) -> Dict[str, Any]:
+    out = {}
+    for key, value in meta.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        elif isinstance(value, tuple):
+            out[key] = list(value)
+        else:
+            out[key] = str(value)
+    return out
+
+
+class LoadedTrace:
+    """A trace + graph reconstructed from serialized form."""
+
+    def __init__(self, trace: Trace, graph: HBGraph):
+        self.trace = trace
+        self.graph = graph
+
+    def detect(self, full_history: bool = False):
+        """Replay all accesses through a fresh detector; returns it."""
+        detector: Any
+        if full_history:
+            detector = FullHistoryDetector(self.graph)
+        else:
+            detector = RaceDetector(self.graph)
+        for access in self.trace.accesses:
+            detector.on_access(access)
+        return detector
+
+    def report(self, apply_filters: bool = True) -> RaceReport:
+        """Full offline pipeline: detect, filter, classify, judge."""
+        detector = self.detect()
+        races = detector.races
+        if apply_filters:
+            races = FilterChain().apply(races, self.trace)
+        return build_report(races, self.trace)
+
+
+def trace_from_dict(data: Dict[str, Any]) -> LoadedTrace:
+    """Reconstruct a :class:`LoadedTrace` from :func:`trace_to_dict` output."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {version!r}")
+    trace = Trace()
+    for op_data in data["operations"]:
+        trace.operations.operations[op_data["op_id"]] = _make_operation(op_data)
+        trace.operations._next = max(trace.operations._next, op_data["op_id"] + 1)
+    graph = HBGraph(assert_forward=False)
+    for op_id in trace.operations.operations:
+        graph.add_operation(op_id)
+    for edge in data["edges"]:
+        graph.add_edge(edge["src"], edge["dst"], edge["rule"])
+    for access_data in data["accesses"]:
+        trace.record(
+            Access(
+                kind=access_data["kind"],
+                op_id=access_data["op_id"],
+                location=_location_from_json(access_data["location"]),
+                is_call=access_data["is_call"],
+                is_function_decl=access_data["is_function_decl"],
+                detail=dict(access_data["detail"]),
+            )
+        )
+    for crash_data in data["crashes"]:
+        trace.record_crash(_LoadedCrash(crash_data))
+    return LoadedTrace(trace, graph)
+
+
+def _make_operation(op_data: Dict[str, Any]):
+    from .operations import Operation
+
+    return Operation(
+        op_id=op_data["op_id"],
+        kind=op_data["kind"],
+        label=op_data["label"],
+        meta=dict(op_data["meta"]),
+        parent=op_data["parent"],
+    )
+
+
+class _LoadedCrash:
+    """Crash record reconstructed from JSON (error text only)."""
+
+    def __init__(self, data: Dict[str, Any]):
+        self.operation = data["operation"]
+        self.error = data["message"]
+        self.where = data["where"]
+        self._kind = data["kind"]
+
+    @property
+    def kind(self) -> str:
+        """The recorded error class name."""
+        return self._kind
+
+    def __repr__(self) -> str:
+        return f"LoadedCrash(op={self.operation}, {self._kind}: {self.error})"
+
+
+def dump_trace(trace: Trace, graph: HBGraph, path: str) -> None:
+    """Write a trace + graph to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(trace_to_dict(trace, graph), handle)
+
+
+def load_trace(path: str) -> LoadedTrace:
+    """Read a trace file written by :func:`dump_trace`."""
+    with open(path) as handle:
+        return trace_from_dict(json.load(handle))
+
+
+def dumps_trace(trace: Trace, graph: HBGraph) -> str:
+    """Serialize a trace + graph to a JSON string."""
+    return json.dumps(trace_to_dict(trace, graph))
+
+
+def loads_trace(text: str) -> LoadedTrace:
+    """Load a trace from a JSON string."""
+    return trace_from_dict(json.loads(text))

@@ -1,0 +1,80 @@
+"""Execution traces.
+
+A :class:`Trace` is the complete observable record of one page execution:
+the operations that ran, every logical memory access they performed, and the
+script crashes that were hidden from the user.  WebRacer's detector runs
+*online* (it sees each access as it happens, like the paper's
+instrumentation communicating directly with the detector rather than
+generating a separate event trace — Section 5.2.1), but the trace is kept
+anyway: the full-history detector, the filters, and the experiment harness
+all consume it after the fact.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .access import Access
+from .locations import Location
+from .operations import Operation, OperationFactory
+
+
+class Trace:
+    """Operations + accesses + crashes of one execution."""
+
+    def __init__(self, operations: Optional[OperationFactory] = None):
+        self.operations = operations if operations is not None else OperationFactory()
+        self.accesses: List[Access] = []
+        self.crashes: List = []  # repro.js.errors.ScriptCrash values
+        self._listeners: List[Callable[[Access], None]] = []
+
+    # ------------------------------------------------------------------
+    # recording
+
+    def subscribe(self, listener: Callable[[Access], None]) -> None:
+        """Register an online consumer (e.g. the race detector)."""
+        self._listeners.append(listener)
+
+    def record(self, access: Access) -> Access:
+        """Append an access, stamping its sequence index, and fan out."""
+        access.seq = len(self.accesses)
+        self.accesses.append(access)
+        for listener in self._listeners:
+            listener(access)
+        return access
+
+    def record_crash(self, crash) -> None:
+        """Append a hidden-crash record."""
+        self.crashes.append(crash)
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def operation(self, op_id: int) -> Operation:
+        """Look up an operation by id."""
+        return self.operations.get(op_id)
+
+    def accesses_to(self, location: Location) -> List[Access]:
+        """All accesses to one location, in order."""
+        return [access for access in self.accesses if access.location == location]
+
+    def locations(self) -> List[Location]:
+        """Distinct locations accessed, in first-touch order."""
+        seen: Dict[Location, None] = {}
+        for access in self.accesses:
+            seen.setdefault(access.location)
+        return list(seen.keys())
+
+    def accesses_by_operation(self, op_id: int) -> List[Access]:
+        """All accesses performed by one operation."""
+        return [access for access in self.accesses if access.op_id == op_id]
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def summary(self) -> str:
+        """One-line trace statistics."""
+        return (
+            f"Trace: {len(self.operations)} operations, "
+            f"{len(self.accesses)} accesses, {len(self.crashes)} hidden crashes"
+        )

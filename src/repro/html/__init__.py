@@ -1,0 +1,31 @@
+"""HTML substrate: tokenizer and incremental (pausable) parser."""
+
+from .parser import IncrementalHtmlParser, ParseUnit, parse_html
+from .tokenizer import (
+    Comment,
+    Doctype,
+    EndTag,
+    HtmlTokenizer,
+    RAW_TEXT_TAGS,
+    StartTag,
+    Text,
+    Token,
+    VOID_TAGS,
+    tokenize_html,
+)
+
+__all__ = [
+    "Comment",
+    "Doctype",
+    "EndTag",
+    "HtmlTokenizer",
+    "IncrementalHtmlParser",
+    "ParseUnit",
+    "RAW_TEXT_TAGS",
+    "StartTag",
+    "Text",
+    "Token",
+    "VOID_TAGS",
+    "parse_html",
+    "tokenize_html",
+]

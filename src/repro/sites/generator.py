@@ -1,0 +1,96 @@
+"""Synthetic site generation.
+
+Assembles :class:`~repro.sites.patterns.Fragment` instances into complete
+:class:`Site` pages.  A :class:`SiteSpec` names the patterns (with keyword
+arguments) a site is built from; the generator concatenates their markup,
+merges their resources/latencies, and sums their expectations, giving each
+site a ground-truth label of the races it was seeded with.
+
+All ids are namespaced per fragment (``uid``), so patterns never interfere;
+the expected-race algebra is therefore additive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from ..core.report import RACE_TYPES
+from .patterns import PATTERNS, Fragment
+
+
+@dataclass
+class Site:
+    """A generated page with ground-truth race labels."""
+
+    name: str
+    html: str
+    resources: Dict[str, str] = field(default_factory=dict)
+    latencies: Dict[str, float] = field(default_factory=dict)
+    #: type -> (filtered races, harmful races) seeded into the page.
+    expected: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: minimum unfiltered races per type.
+    raw_min: Dict[str, int] = field(default_factory=dict)
+
+    def expected_filtered_total(self) -> int:
+        """Total seeded filtered races."""
+        return sum(count for count, _harmful in self.expected.values())
+
+    def expected_harmful_total(self) -> int:
+        """Total seeded harmful races."""
+        return sum(harmful for _count, harmful in self.expected.values())
+
+
+@dataclass
+class SiteSpec:
+    """Recipe: which patterns (and arguments) make up a site."""
+
+    name: str
+    patterns: List[Tuple[str, Dict[str, Any]]] = field(default_factory=list)
+
+    def add(self, pattern: str, **kwargs: Any) -> "SiteSpec":
+        """Append a pattern (chainable)."""
+        self.patterns.append((pattern, dict(kwargs)))
+        return self
+
+
+def build_site(spec: SiteSpec) -> Site:
+    """Materialize a :class:`SiteSpec` into a :class:`Site`."""
+    fragments: List[Fragment] = []
+    for index, (pattern_name, kwargs) in enumerate(spec.patterns):
+        builder = PATTERNS.get(pattern_name)
+        if builder is None:
+            raise KeyError(f"unknown pattern {pattern_name!r}")
+        uid = f"{_slug(spec.name)}{index}"
+        fragments.append(builder(uid, **kwargs))
+
+    html_parts: List[str] = [f"<!-- synthetic site: {spec.name} -->"]
+    resources: Dict[str, str] = {}
+    latencies: Dict[str, float] = {}
+    expected: Dict[str, Tuple[int, int]] = {t: (0, 0) for t in RACE_TYPES}
+    raw_min: Dict[str, int] = {t: 0 for t in RACE_TYPES}
+    for fragment in fragments:
+        html_parts.append(fragment.html)
+        overlap = set(resources) & set(fragment.resources)
+        if overlap:
+            raise ValueError(f"resource collision in {spec.name}: {overlap}")
+        resources.update(fragment.resources)
+        latencies.update(fragment.latencies)
+        for race_type, (count, harmful) in fragment.expected.items():
+            old_count, old_harmful = expected[race_type]
+            expected[race_type] = (old_count + count, old_harmful + harmful)
+        for race_type, count in fragment.raw_min.items():
+            raw_min[race_type] += count
+
+    return Site(
+        name=spec.name,
+        html="\n".join(html_parts),
+        resources=resources,
+        latencies=latencies,
+        expected=expected,
+        raw_min=raw_min,
+    )
+
+
+def _slug(name: str) -> str:
+    return "".join(ch for ch in name if ch.isalnum())[:12]

@@ -1,0 +1,445 @@
+"""Race patterns observed by the paper, as composable page fragments.
+
+Each pattern builder returns a :class:`Fragment`: a piece of HTML plus the
+external resources it needs and the races it is engineered to produce.
+The patterns are direct implementations of the behaviours the paper
+documents on real sites:
+
+* ``southwest_form_hint`` — Fig. 2: a script overwrites a text box the user
+  may already have typed into (harmful variable race).
+* ``two_script_form_hint`` — two scripts write the same form value
+  (variable race that survives the form filter but is benign: no user
+  input involved).
+* ``guarded_form_hint`` — the write is guarded by a read ("did the user
+  type?"), which the form filter drops (Section 5.3).
+* ``valero_email_link`` — Fig. 3: a ``javascript:`` link touches a div
+  parsed later (harmful HTML race; hidden crash).
+* ``ford_polling`` — Section 6.3: setTimeout-polling until a sentinel node
+  exists, then mutating many nodes (benign HTML races via data-dependence
+  synchronization; Ford had 112 of these).
+* ``function_race_unguarded`` / ``function_race_guarded`` — Fig. 4 /
+  Section 6.3: a handler invokes a function declared by a later script,
+  with or without a ``typeof`` guard (harmful vs. benign function race).
+* ``gomez_monitoring`` — Section 6.3: a setInterval loop attaches onload
+  handlers to images after they may have loaded (harmful event-dispatch
+  races; all 83 harmful dispatch races in the paper were this pattern).
+* ``late_onload_attach`` — Fig. 5: ``iframe.onload`` assigned from a later
+  script (harmful event-dispatch race).
+* ``delayed_widget_script`` — Section 6.2: deliberately delayed
+  (script-inserted) code attaching hover handlers; the races are filtered
+  out (multi-dispatch) or judged benign (deliberate delay).
+* ``iframe_variable_race`` — Fig. 1: scripts in two iframes race on a
+  global.
+* ``async_global_noise`` / ``ajax_global_write`` — asynchronously loaded
+  library code racing on plain globals (the bulk of Table 1's variable
+  column; filtered out by the form filter).
+* ``static_noise`` — race-free filler content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..core.report import EVENT_DISPATCH, FUNCTION, HTML, VARIABLE
+
+#: (filtered_count, harmful_count) per race type.
+Expectation = Dict[str, Tuple[int, int]]
+
+
+@dataclass
+class Fragment:
+    """A composable piece of a synthetic site."""
+
+    html: str
+    resources: Dict[str, str] = field(default_factory=dict)
+    latencies: Dict[str, float] = field(default_factory=dict)
+    #: Races this fragment contributes *after filtering*: type -> (n, harmful).
+    expected: Expectation = field(default_factory=dict)
+    #: Minimum races contributed to the unfiltered (Table 1) counts.
+    raw_min: Dict[str, int] = field(default_factory=dict)
+
+
+def southwest_form_hint(uid: str, latency: float = 40.0) -> Fragment:
+    """Fig. 2: harmful variable race on a form-field value."""
+    return Fragment(
+        html=(
+            f'<input type="text" id="depart{uid}" />\n'
+            f'<script src="hint{uid}.js"></script>\n'
+        ),
+        resources={
+            f"hint{uid}.js": (
+                f"document.getElementById('depart{uid}').value = 'City of Departure';"
+            )
+        },
+        latencies={f"hint{uid}.js": latency},
+        expected={VARIABLE: (1, 1)},
+        raw_min={VARIABLE: 1},
+    )
+
+
+def two_script_form_hint(uid: str) -> Fragment:
+    """Two async scripts write the same form value: benign variable race."""
+    # The field is type=hidden so simulated typing leaves it alone: the
+    # race is purely script-vs-script and therefore benign.
+    return Fragment(
+        html=(
+            f'<input type="hidden" id="query{uid}" />\n'
+            f'<script src="hintA{uid}.js" async="true"></script>\n'
+            f'<script src="hintB{uid}.js" async="true"></script>\n'
+        ),
+        resources={
+            f"hintA{uid}.js": (
+                f"document.getElementById('query{uid}').value = 'Search...';"
+            ),
+            f"hintB{uid}.js": (
+                f"document.getElementById('query{uid}').value = 'Find a store';"
+            ),
+        },
+        expected={VARIABLE: (1, 0)},
+        raw_min={VARIABLE: 1},
+    )
+
+
+def guarded_form_hint(uid: str) -> Fragment:
+    """A guarded write (``f.value = f.value || hint``) racing with another
+    script's write — dropped by the form filter's read-before-write rule."""
+    return Fragment(
+        html=(
+            f'<input type="hidden" id="city{uid}" />\n'
+            f'<script src="ginit{uid}.js" async="true"></script>\n'
+            f'<script src="ghint{uid}.js" async="true"></script>\n'
+        ),
+        resources={
+            f"ginit{uid}.js": (
+                f"document.getElementById('city{uid}').value = 'preset';"
+            ),
+            f"ghint{uid}.js": (
+                f"var f{uid} = document.getElementById('city{uid}');\n"
+                f"f{uid}.value = f{uid}.value || 'Your city';"
+            ),
+        },
+        expected={},
+        raw_min={VARIABLE: 1},
+    )
+
+
+def valero_email_link(uid: str) -> Fragment:
+    """Fig. 3: harmful HTML race — click may precede the div's parse."""
+    return Fragment(
+        html=(
+            f"<script>\n"
+            f"function show{uid}() {{\n"
+            f"  var v = $get('dw{uid}');\n"
+            f"  v.style.display = 'block';\n"
+            f"}}\n"
+            f"</script>\n"
+            f'<a id="send{uid}" href="javascript:show{uid}()">Send Email</a>\n'
+            f'<div id="spacer{uid}a">.</div>\n'
+            f'<div id="spacer{uid}b">.</div>\n'
+            f'<div id="dw{uid}" style="display:none">email form</div>\n'
+        ),
+        expected={HTML: (1, 1)},
+        raw_min={HTML: 1},
+    )
+
+
+def ford_polling(uid: str, nodes: int = 5) -> Fragment:
+    """Section 6.3: benign HTML races via data-dependence synchronization.
+
+    The poll reads ``last`` until it exists, then touches ``nodes`` other
+    elements; every one of those reads races with its element's parse but
+    never crashes (the sentinel guarantees existence).  Contributes
+    ``nodes + 1`` benign HTML races.
+    """
+    touch = "\n".join(
+        f"    document.getElementById('n{uid}_{k}').style.color = 'red';"
+        for k in range(nodes)
+    )
+    divs = "\n".join(f'<div id="n{uid}_{k}">item</div>' for k in range(nodes))
+    return Fragment(
+        html=(
+            f"<script>\n"
+            f"function addPopUp{uid}() {{\n"
+            f"  if (document.getElementById('last{uid}') != null) {{\n"
+            f"{touch}\n"
+            f"  }} else {{ setTimeout(addPopUp{uid}, 5); }}\n"
+            f"}}\n"
+            f"addPopUp{uid}();\n"
+            f"</script>\n"
+            f"{divs}\n"
+            f'<div id="last{uid}">end</div>\n'
+        ),
+        expected={HTML: (nodes + 1, 0)},
+        raw_min={HTML: nodes + 1},
+    )
+
+
+def function_race_unguarded(uid: str, latency: float = 60.0) -> Fragment:
+    """Fig. 4-style harmful function race exposed by a simulated click."""
+    return Fragment(
+        html=(
+            f'<div id="menu{uid}" onclick="openMenu{uid}()">Products</div>\n'
+            f'<script src="menu{uid}.js"></script>\n'
+        ),
+        resources={
+            f"menu{uid}.js": (
+                f"function openMenu{uid}() {{ window.menuOpen{uid} = true; }}"
+            )
+        },
+        latencies={f"menu{uid}.js": latency},
+        expected={FUNCTION: (1, 1)},
+        raw_min={FUNCTION: 1},
+    )
+
+
+def function_race_guarded(uid: str, latency: float = 60.0) -> Fragment:
+    """Function race guarded by typeof — detected but benign."""
+    return Fragment(
+        html=(
+            f'<div id="gmenu{uid}" '
+            f"onclick=\"if (typeof openG{uid} != 'undefined') openG{uid}();\">"
+            f"Services</div>\n"
+            f'<script src="gmenu{uid}.js"></script>\n'
+        ),
+        resources={
+            f"gmenu{uid}.js": (
+                f"function openG{uid}() {{ window.gOpen{uid} = true; }}"
+            )
+        },
+        latencies={f"gmenu{uid}.js": latency},
+        expected={FUNCTION: (1, 0)},
+        raw_min={FUNCTION: 1},
+    )
+
+
+def gomez_monitoring(uid: str, images: int = 3) -> Fragment:
+    """Section 6.3: the Gomez pattern — harmful event-dispatch races.
+
+    Images appear *before* the monitoring script (so their parsing is
+    ordered before it — no HTML race), but each image's load dispatch races
+    with the interval callback attaching its ``onload`` handler.
+    """
+    imgs = "\n".join(
+        f'<img id="m{uid}_{k}" src="img{uid}_{k}.png">' for k in range(images)
+    )
+    script = (
+        f"var seen{uid} = {{}};\n"
+        f"function poll{uid}() {{\n"
+        f"  var imgs = document.images;\n"
+        f"  for (var i = 0; i < imgs.length; i++) {{\n"
+        f"    var im = imgs[i];\n"
+        f"    if (!seen{uid}[im.id]) {{\n"
+        f"      seen{uid}[im.id] = true;\n"
+        f"      im.onload = function() {{ window.tracked{uid} = im.id; }};\n"
+        f"    }}\n"
+        f"  }}\n"
+        f"}}\n"
+        f"setInterval(poll{uid}, 10);\n"
+    )
+    resources = {f"img{uid}_{k}.png": "binary" for k in range(images)}
+    return Fragment(
+        html=f"{imgs}\n<script>\n{script}</script>\n",
+        resources=resources,
+        expected={EVENT_DISPATCH: (images, images)},
+        raw_min={EVENT_DISPATCH: images},
+    )
+
+
+def late_onload_attach(uid: str, latency: float = 8.0) -> Fragment:
+    """Fig. 5: iframe onload assigned from a separate script."""
+    return Fragment(
+        html=(
+            f'<iframe id="fr{uid}" src="frame{uid}.html"></iframe>\n'
+            f"<script>\n"
+            f"document.getElementById('fr{uid}').onload = "
+            f"function() {{ window.frLoaded{uid} = true; }};\n"
+            f"</script>\n"
+        ),
+        resources={f"frame{uid}.html": "<div>nested</div>"},
+        latencies={f"frame{uid}.html": latency},
+        expected={EVENT_DISPATCH: (1, 1)},
+        raw_min={EVENT_DISPATCH: 1},
+    )
+
+
+def delayed_onload_attach(uid: str) -> Fragment:
+    """A deliberately-delayed script attaches a load handler: the race
+    survives the single-dispatch filter but is judged benign."""
+    return Fragment(
+        html=(
+            f'<img id="logo{uid}" src="logo{uid}.png">\n'
+            f"<script>\n"
+            f"var s{uid} = document.createElement('script');\n"
+            f"s{uid}.src = 'track{uid}.js';\n"
+            f"document.body.appendChild(s{uid});\n"
+            f"</script>\n"
+        ),
+        resources={
+            f"logo{uid}.png": "binary",
+            f"track{uid}.js": (
+                f"var im{uid} = document.getElementById('logo{uid}');\n"
+                f"im{uid}.onload = function() {{ window.logoSeen{uid} = true; }};"
+            ),
+        },
+        expected={EVENT_DISPATCH: (1, 0)},
+        raw_min={EVENT_DISPATCH: 1},
+    )
+
+
+def delayed_widget_script(uid: str, widgets: int = 4) -> Fragment:
+    """Section 6.2: delayed pop-up menu code.  The mouseover handler races
+    are filtered out (multi-dispatch events) — Table 1 noise only."""
+    divs = "\n".join(f'<div id="w{uid}_{k}">widget</div>' for k in range(widgets))
+    attach = "\n".join(
+        f"document.getElementById('w{uid}_{k}').onmouseover = "
+        f"function() {{ window.hover{uid}_{k} = true; }};"
+        for k in range(widgets)
+    )
+    return Fragment(
+        html=(
+            f"{divs}\n"
+            f"<script>\n"
+            f"var ws{uid} = document.createElement('script');\n"
+            f"ws{uid}.src = 'widgets{uid}.js';\n"
+            f"document.body.appendChild(ws{uid});\n"
+            f"</script>\n"
+        ),
+        resources={f"widgets{uid}.js": attach},
+        expected={},
+        raw_min={EVENT_DISPATCH: widgets},
+    )
+
+
+def iframe_variable_race(uid: str) -> Fragment:
+    """Fig. 1: two iframes race on a shared global."""
+    return Fragment(
+        html=(
+            f"<script>xg{uid} = 1;</script>\n"
+            f'<iframe src="fa{uid}.html"></iframe>\n'
+            f'<iframe src="fb{uid}.html"></iframe>\n'
+        ),
+        resources={
+            f"fa{uid}.html": f"<script>xg{uid} = 2;</script>",
+            f"fb{uid}.html": f"<script>window.res{uid} = xg{uid};</script>",
+        },
+        expected={},
+        raw_min={VARIABLE: 1},
+    )
+
+
+def async_global_noise(uid: str, globals_count: int = 8) -> Fragment:
+    """Two async library scripts racing on shared globals (Table 1 bulk)."""
+    writes_a = "\n".join(
+        f"cfg{uid}_{k} = {k};" for k in range(globals_count)
+    )
+    writes_b = "\n".join(
+        f"cfg{uid}_{k} = (typeof cfg{uid}_{k} == 'undefined') ? -1 : cfg{uid}_{k} + 1;"
+        for k in range(globals_count)
+    )
+    return Fragment(
+        html=(
+            f'<script src="liba{uid}.js" async="true"></script>\n'
+            f'<script src="libb{uid}.js" async="true"></script>\n'
+        ),
+        resources={
+            f"liba{uid}.js": writes_a,
+            f"libb{uid}.js": writes_b,
+        },
+        expected={},
+        raw_min={VARIABLE: globals_count},
+    )
+
+
+def ajax_global_write(uid: str) -> Fragment:
+    """An XHR completion handler writes a global also set by a later
+    script — an AJAX race (the Zheng et al. class, detectable here)."""
+    return Fragment(
+        html=(
+            f"<script>\n"
+            f"var xr{uid} = new XMLHttpRequest();\n"
+            f"xr{uid}.open('GET', 'data{uid}.json');\n"
+            f"xr{uid}.onreadystatechange = function() {{\n"
+            f"  if (xr{uid}.readyState == 4) {{ payload{uid} = xr{uid}.responseText; }}\n"
+            f"}};\n"
+            f"xr{uid}.send();\n"
+            f"</script>\n"
+            f'<script src="init{uid}.js" async="true"></script>\n'
+        ),
+        resources={
+            f"data{uid}.json": '{"ok": true}',
+            f"init{uid}.js": f"payload{uid} = 'default';",
+        },
+        expected={},
+        raw_min={VARIABLE: 1},
+    )
+
+
+def cookie_race(uid: str) -> Fragment:
+    """Cookie state raced by an AJAX handler and an async script.
+
+    Zheng et al.'s static AJAX-race system had special cookie handling;
+    the paper notes adding it to WebRacer "would be straightforward" —
+    here it is: ``document.cookie`` is a DOM-property location, so the
+    unordered writes race (variable race; filtered out as non-form).
+    """
+    return Fragment(
+        html=(
+            f"<script>\n"
+            f"var cx{uid} = new XMLHttpRequest();\n"
+            f"cx{uid}.open('GET', 'session{uid}.json');\n"
+            f"cx{uid}.onreadystatechange = function() {{\n"
+            f"  if (cx{uid}.readyState == 4) {{ document.cookie = 'sid=' + cx{uid}.responseText; }}\n"
+            f"}};\n"
+            f"cx{uid}.send();\n"
+            f"</script>\n"
+            f'<script src="prefs{uid}.js" async="true"></script>\n'
+        ),
+        resources={
+            f"session{uid}.json": "abc123",
+            f"prefs{uid}.js": f"document.cookie = 'prefs=dark';",
+        },
+        expected={},
+        raw_min={VARIABLE: 1},
+    )
+
+
+def static_noise(uid: str, blocks: int = 3) -> Fragment:
+    """Race-free filler: static content and a pure inline computation."""
+    divs = "\n".join(
+        f'<div id="s{uid}_{k}"><a href="/about{k}">About</a> '
+        f"<p>Lorem ipsum dolor sit amet.</p></div>"
+        for k in range(blocks)
+    )
+    return Fragment(
+        html=(
+            f"{divs}\n"
+            f"<script>\n"
+            f"var acc{uid} = 0;\n"
+            f"for (var i{uid} = 0; i{uid} < 10; i{uid}++) {{ acc{uid} += i{uid}; }}\n"
+            f"</script>\n"
+        ),
+        expected={},
+        raw_min={},
+    )
+
+
+#: Registry used by the generator.
+PATTERNS = {
+    "southwest_form_hint": southwest_form_hint,
+    "two_script_form_hint": two_script_form_hint,
+    "guarded_form_hint": guarded_form_hint,
+    "valero_email_link": valero_email_link,
+    "ford_polling": ford_polling,
+    "function_race_unguarded": function_race_unguarded,
+    "function_race_guarded": function_race_guarded,
+    "gomez_monitoring": gomez_monitoring,
+    "late_onload_attach": late_onload_attach,
+    "delayed_onload_attach": delayed_onload_attach,
+    "delayed_widget_script": delayed_widget_script,
+    "iframe_variable_race": iframe_variable_race,
+    "async_global_noise": async_global_noise,
+    "ajax_global_write": ajax_global_write,
+    "cookie_race": cookie_race,
+    "static_noise": static_noise,
+}

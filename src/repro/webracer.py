@@ -1,0 +1,245 @@
+"""WebRacer — the dynamic race detector for web applications.
+
+The top-level facade over the whole reproduction.  One call drives the
+paper's full pipeline (Section 5): load the page in the instrumented
+browser, auto-explore user interactions after window load (Section 5.2.2),
+detect races online with the LastRead/LastWrite detector over the
+happens-before relation (Section 5.1), post-process with the form-race and
+single-dispatch filters (Section 5.3), and classify each surviving race by
+type and harmfulness (Sections 2 and 6).
+
+Typical use::
+
+    from repro import WebRacer
+
+    racer = WebRacer(seed=7)
+    report = racer.check_page(html, resources={"code.js": "..."})
+    print(report.summary())
+    for race in report.classified.races:
+        print(race.describe())
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .browser.page import Browser, Page
+from .core.detector import Race
+from .core.filters import FilterChain
+from .core.report import (
+    RACE_TYPES,
+    RaceReport,
+    build_report,
+)
+from .core.trace import Trace
+
+
+@dataclass
+class PageReport:
+    """Everything WebRacer learned about one page."""
+
+    url: str
+    page: Page
+    #: Races straight from the detector (one per location).
+    raw_races: List[Race]
+    #: Races after the Section 5.3 filters.
+    filtered_races: List[Race]
+    #: Filtered races, classified and judged (Sections 2 & 6).
+    classified: RaceReport
+    #: Raw races, classified (for Table 1, which is pre-filtering).
+    raw_classified: RaceReport
+
+    @property
+    def trace(self) -> Trace:
+        """The page's execution trace."""
+        return self.page.trace
+
+    def raw_counts(self) -> Dict[str, int]:
+        """Unfiltered race counts per type (Table 1 view)."""
+        return self.raw_classified.counts()
+
+    def filtered_counts(self) -> Dict[str, int]:
+        """Post-filter race counts per type (Table 2 view)."""
+        return self.classified.counts()
+
+    def harmful_counts(self) -> Dict[str, int]:
+        """Harmful race counts per type."""
+        return self.classified.harmful_counts()
+
+    def summary(self) -> str:
+        """One-line page summary."""
+        return (
+            f"{self.url}: {len(self.raw_races)} raw races, "
+            f"{len(self.filtered_races)} after filtering "
+            f"({len(self.classified.harmful())} harmful) — "
+            + self.classified.summary()
+        )
+
+
+@dataclass
+class CorpusReport:
+    """Aggregated results over a set of sites (the paper's evaluation)."""
+
+    reports: List[PageReport] = field(default_factory=list)
+
+    def table1(self) -> Dict[str, Dict[str, float]]:
+        """Mean/median/max per race type, *unfiltered* (paper Table 1)."""
+        rows: Dict[str, Dict[str, float]] = {}
+        per_type: Dict[str, List[int]] = {race_type: [] for race_type in RACE_TYPES}
+        totals: List[int] = []
+        for report in self.reports:
+            counts = report.raw_counts()
+            for race_type in RACE_TYPES:
+                per_type[race_type].append(counts[race_type])
+            totals.append(sum(counts.values()))
+        for race_type in RACE_TYPES:
+            values = per_type[race_type] or [0]
+            rows[race_type] = {
+                "mean": statistics.mean(values),
+                "median": statistics.median(values),
+                "max": max(values),
+            }
+        values = totals or [0]
+        rows["all"] = {
+            "mean": statistics.mean(values),
+            "median": statistics.median(values),
+            "max": max(values),
+        }
+        return rows
+
+    def table2(self) -> List[Dict[str, Any]]:
+        """Per-site filtered counts with harmful in parentheses (Table 2).
+
+        Sites with no filtered races are elided, as in the paper.
+        """
+        rows: List[Dict[str, Any]] = []
+        for report in self.reports:
+            counts = report.filtered_counts()
+            harmful = report.harmful_counts()
+            if sum(counts.values()) == 0:
+                continue
+            rows.append(
+                {
+                    "site": report.url,
+                    **{
+                        race_type: (counts[race_type], harmful[race_type])
+                        for race_type in RACE_TYPES
+                    },
+                }
+            )
+        return rows
+
+    def table2_totals(self) -> Dict[str, Any]:
+        """Filtered + harmful totals per type across the corpus."""
+        totals = {race_type: [0, 0] for race_type in RACE_TYPES}
+        for report in self.reports:
+            counts = report.filtered_counts()
+            harmful = report.harmful_counts()
+            for race_type in RACE_TYPES:
+                totals[race_type][0] += counts[race_type]
+                totals[race_type][1] += harmful[race_type]
+        return {race_type: tuple(val) for race_type, val in totals.items()}
+
+    def sites_with_filtered_races(self) -> int:
+        """How many sites report at least one filtered race."""
+        return len(self.table2())
+
+
+class WebRacer:
+    """The dynamic race detector, configured once and reused across pages."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        scheduler: Any = "fifo",
+        explore: bool = True,
+        eager: bool = True,
+        apply_filters: bool = True,
+        full_history: bool = False,
+        report_all_per_location: bool = False,
+        min_latency: float = 5.0,
+        max_latency: float = 120.0,
+        max_run_ms: Optional[float] = None,
+    ):
+        self.seed = seed
+        self.scheduler = scheduler
+        self.explore = explore
+        self.eager = eager
+        self.apply_filters = apply_filters
+        self.full_history = full_history
+        self.report_all_per_location = report_all_per_location
+        self.min_latency = min_latency
+        self.max_latency = max_latency
+        self.max_run_ms = max_run_ms
+
+    # ------------------------------------------------------------------
+
+    def make_browser(
+        self,
+        resources: Optional[Dict[str, str]] = None,
+        latencies: Optional[Dict[str, float]] = None,
+        seed: Optional[int] = None,
+    ) -> Browser:
+        """A Browser configured with this detector's settings."""
+        return Browser(
+            seed=self.seed if seed is None else seed,
+            scheduler=self.scheduler,
+            resources=resources,
+            latencies=latencies,
+            min_latency=self.min_latency,
+            max_latency=self.max_latency,
+            full_history=self.full_history,
+            report_all_per_location=self.report_all_per_location,
+        )
+
+    def check_page(
+        self,
+        html: str,
+        resources: Optional[Dict[str, str]] = None,
+        latencies: Optional[Dict[str, float]] = None,
+        url: str = "page.html",
+        seed: Optional[int] = None,
+    ) -> PageReport:
+        """Load ``html``, explore, detect, filter, classify."""
+        browser = self.make_browser(resources, latencies, seed=seed)
+        page = browser.open(html, url=url)
+        page.auto_explore = self.explore
+        page.eager_explore = self.eager
+        page.run(max_ms=self.max_run_ms)
+        return self.report_for(page, url)
+
+    def report_for(self, page: Page, url: str = "page.html") -> PageReport:
+        """Build a :class:`PageReport` from an already-run page."""
+        raw_races = list(page.races)
+        if self.apply_filters:
+            filtered = FilterChain().apply(raw_races, page.trace)
+        else:
+            filtered = list(raw_races)
+        return PageReport(
+            url=url,
+            page=page,
+            raw_races=raw_races,
+            filtered_races=filtered,
+            classified=build_report(filtered, page.trace),
+            raw_classified=build_report(raw_races, page.trace),
+        )
+
+    def check_site(self, site, seed: Optional[int] = None) -> PageReport:
+        """Check a generated :class:`repro.sites.Site`."""
+        return self.check_page(
+            site.html,
+            resources=site.resources,
+            latencies=site.latencies,
+            url=site.name,
+            seed=seed,
+        )
+
+    def check_corpus(self, sites, seed: Optional[int] = None) -> CorpusReport:
+        """Run WebRacer over a corpus of generated sites."""
+        report = CorpusReport()
+        for index, site in enumerate(sites):
+            site_seed = (self.seed if seed is None else seed) + index * 101
+            report.reports.append(self.check_site(site, seed=site_seed))
+        return report

@@ -1,0 +1,42 @@
+"""Tests for the virtual-clock-backed Date global."""
+
+from repro.browser.page import Browser
+
+
+def g(page, name):
+    return page.interpreter.global_object.get_own(name)
+
+
+class TestDate:
+    def test_date_now_is_virtual_time(self):
+        page = Browser(seed=0).load(
+            "<script>setTimeout('at = Date.now();', 42);</script>"
+        )
+        assert g(page, "at") >= 42.0
+
+    def test_new_date_get_time(self):
+        page = Browser(seed=0).load(
+            "<script>t0 = new Date().getTime();</script>"
+        )
+        assert isinstance(g(page, "t0"), float)
+
+    def test_elapsed_time_measurement(self):
+        """The Gomez-style pattern: measure elapsed virtual time."""
+        page = Browser(seed=0).load(
+            """
+            <script>
+            start = Date.now();
+            setTimeout('elapsed = Date.now() - start;', 25);
+            </script>
+            """
+        )
+        assert g(page, "elapsed") >= 25.0
+
+    def test_time_monotone_across_operations(self):
+        page = Browser(seed=0).load(
+            """
+            <script>first = Date.now();</script>
+            <script>setTimeout('second = Date.now();', 10);</script>
+            """
+        )
+        assert g(page, "second") >= g(page, "first")

@@ -1,0 +1,141 @@
+"""Tests for stopPropagation / preventDefault / stopImmediatePropagation."""
+
+from repro.browser.page import Browser
+
+
+def load(html, **kwargs):
+    return Browser(seed=0, **kwargs).load(html)
+
+
+def g(page, name):
+    return page.interpreter.global_object.get_own(name)
+
+
+class TestStopPropagation:
+    def test_stops_bubbling_to_ancestors(self):
+        page = load(
+            """
+            <div id='outer'><div id='inner'></div></div>
+            <script>
+            var outer = document.getElementById('outer');
+            var inner = document.getElementById('inner');
+            inner.addEventListener('click', function(e) { innerRan = 1; e.stopPropagation(); });
+            outer.addEventListener('click', function() { outerRan = 1; });
+            inner.click();
+            </script>
+            """
+        )
+        assert g(page, "innerRan") == 1.0
+        assert not page.interpreter.global_object.has_own("outerRan")
+
+    def test_same_target_handlers_still_run(self):
+        page = load(
+            """
+            <div id='t'></div>
+            <script>
+            var t = document.getElementById('t');
+            t.addEventListener('click', function(e) { first = 1; e.stopPropagation(); });
+            t.addEventListener('click', function() { second = 1; });
+            t.click();
+            </script>
+            """
+        )
+        assert g(page, "first") == 1.0
+        assert g(page, "second") == 1.0
+
+    def test_stop_immediate_stops_everything(self):
+        page = load(
+            """
+            <div id='t'></div>
+            <script>
+            var t = document.getElementById('t');
+            t.addEventListener('click', function(e) { first = 1; e.stopImmediatePropagation(); });
+            t.addEventListener('click', function() { second = 1; });
+            t.click();
+            </script>
+            """
+        )
+        assert g(page, "first") == 1.0
+        assert not page.interpreter.global_object.has_own("second")
+
+    def test_without_stop_bubbles_normally(self):
+        page = load(
+            """
+            <div id='outer'><div id='inner'></div></div>
+            <script>
+            var outer = document.getElementById('outer');
+            var inner = document.getElementById('inner');
+            inner.addEventListener('click', function() { innerRan = 1; });
+            outer.addEventListener('click', function() { outerRan = 1; });
+            inner.click();
+            </script>
+            """
+        )
+        assert g(page, "innerRan") == 1.0
+        assert g(page, "outerRan") == 1.0
+
+
+class TestPreventDefault:
+    def test_prevents_javascript_href(self):
+        page = load(
+            """
+            <a id='l' href='javascript:followed = 1;'>go</a>
+            <script>
+            var l = document.getElementById('l');
+            l.addEventListener('click', function(e) { e.preventDefault(); handled = 1; });
+            l.click();
+            </script>
+            """
+        )
+        assert g(page, "handled") == 1.0
+        assert not page.interpreter.global_object.has_own("followed")
+
+    def test_default_runs_without_prevent(self):
+        page = load(
+            """
+            <a id='l' href='javascript:followed = 1;'>go</a>
+            <script>
+            var l = document.getElementById('l');
+            l.addEventListener('click', function() { handled = 1; });
+            l.click();
+            </script>
+            """
+        )
+        assert g(page, "handled") == 1.0
+        assert g(page, "followed") == 1.0
+
+    def test_default_prevented_property(self):
+        page = load(
+            """
+            <a id='l' href='javascript:x = 1;'>go</a>
+            <script>
+            var l = document.getElementById('l');
+            l.addEventListener('click', function(e) {
+              before = e.defaultPrevented;
+              e.preventDefault();
+              after = e.defaultPrevented;
+            });
+            l.click();
+            </script>
+            """
+        )
+        assert g(page, "before") is False
+        assert g(page, "after") is True
+
+    def test_prevent_in_one_dispatch_does_not_leak(self):
+        """Each dispatch gets a fresh event object."""
+        page = load(
+            """
+            <a id='l' href='javascript:follows = (typeof follows == "undefined") ? 1 : follows + 1;'>go</a>
+            <script>
+            var l = document.getElementById('l');
+            var once = false;
+            l.addEventListener('click', function(e) {
+              if (!once) { once = true; e.preventDefault(); }
+            });
+            l.click();
+            l.click();
+            </script>
+            """
+        )
+        assert g(page, "follows") == 1.0

@@ -1,0 +1,150 @@
+"""Tests for automatic exploration (Section 5.2.2)."""
+
+from repro.browser.exploration import AUTO_EVENTS
+from repro.browser.page import Browser
+
+
+def run(html, auto=True, eager=False, **kwargs):
+    browser = Browser(seed=0, **kwargs)
+    page = browser.open(html)
+    page.auto_explore = auto
+    page.eager_explore = eager
+    page.run()
+    return page
+
+
+def g(page, name):
+    return page.interpreter.global_object.get_own(name)
+
+
+class TestAutoDispatch:
+    def test_paper_event_list(self):
+        """The twelve event types from Section 5.2.2."""
+        assert set(AUTO_EVENTS) == {
+            "mouseover", "mousemove", "mouseout", "mouseup", "mousedown",
+            "keydown", "keyup", "keypress", "change", "input", "focus", "blur",
+        }
+
+    def test_registered_handlers_dispatched(self):
+        page = run(
+            "<div id='d' onmouseover='hovered = 1;' onkeydown='keyed = 1;'></div>"
+        )
+        assert g(page, "hovered") == 1.0
+        assert g(page, "keyed") == 1.0
+
+    def test_unregistered_events_not_dispatched(self):
+        page = run("<div id='d' onmouseover='x = 1;'></div>")
+        mouseout = [
+            op
+            for op in page.trace.operations
+            if op.meta.get("event") == "mouseout"
+        ]
+        assert mouseout == []
+
+    def test_javascript_links_clicked(self):
+        page = run("<a href='javascript:clicked = 1;'>go</a>")
+        assert g(page, "clicked") == 1.0
+
+    def test_plain_links_not_clicked(self):
+        page = run("<a href='/normal'>go</a>")
+        clicks = [
+            op for op in page.trace.operations if op.meta.get("event") == "click"
+        ]
+        assert clicks == []
+
+    def test_click_handlers_clicked(self):
+        page = run("<button id='b' onclick='pressed = 1;'>ok</button>")
+        assert g(page, "pressed") == 1.0
+
+    def test_exploration_happens_after_load(self):
+        """All automatically-dispatched events come after window load —
+        'simplifying reasoning about WEBRACER's output'."""
+        page = run("<div id='d' onmouseover='x = 1;'></div>")
+        win_load_root = next(
+            op.op_id
+            for op in page.trace.operations
+            if op.meta.get("event") == "load" and "window" in op.label
+        )
+        auto_roots = [
+            op.op_id
+            for op in page.trace.operations
+            if op.meta.get("user") and op.meta.get("role") == "root"
+        ]
+        assert auto_roots
+        assert all(op_id > win_load_root for op_id in auto_roots)
+
+    def test_disabled_exploration_dispatches_nothing(self):
+        page = run("<div onmouseover='x = 1;'></div>", auto=False)
+        assert not page.interpreter.global_object.has_own("x")
+
+    def test_handlers_in_frames_explored(self):
+        page = run(
+            "<iframe src='f.html'></iframe>",
+            resources={"f.html": "<div onmouseover='inFrame = 1;'></div>"},
+        )
+        assert g(page, "inFrame") == 1.0
+
+
+class TestTypingSimulation:
+    def test_text_inputs_typed_into(self):
+        page = run("<input type='text' id='f'>")
+        field = page.document.get_element_by_id("f")
+        assert field.value == "user input"
+
+    def test_typing_marks_user_input(self):
+        page = run("<input type='text' id='f'>")
+        user_writes = [
+            access
+            for access in page.trace.accesses
+            if access.detail.get("user_input")
+        ]
+        assert user_writes
+
+    def test_textarea_typed_into(self):
+        page = run("<textarea id='t'></textarea>")
+        assert page.document.get_element_by_id("t").value == "user input"
+
+    def test_hidden_inputs_not_typed(self):
+        page = run("<input type='hidden' id='h'>")
+        assert page.document.get_element_by_id("h").value == ""
+
+    def test_buttons_not_typed(self):
+        page = run("<input type='submit' id='s'>")
+        assert page.document.get_element_by_id("s").value == ""
+
+    def test_typing_triggers_input_handlers(self):
+        page = run("<input type='text' id='f' oninput='sawInput = 1;'>")
+        assert g(page, "sawInput") == 1.0
+
+
+class TestEagerExploration:
+    def test_eager_click_can_precede_later_parse(self):
+        page = run(
+            """
+            <a id='l' href='javascript:sawLate = document.getElementById("late") != null;'>x</a>
+            <div id='pad'></div>
+            <div id='late'></div>
+            """,
+            eager=True,
+        )
+        # The eager click fired before #late was parsed at least once; the
+        # post-load exploration click then saw it. Either way the page
+        # recorded a read of #late that missed.
+        misses = [
+            access
+            for access in page.trace.accesses
+            if access.detail.get("found") is False
+        ]
+        assert misses
+
+    def test_eager_typing_during_load(self):
+        page = run(
+            "<input type='text' id='f'><div></div><div></div>",
+            eager=True,
+            auto=False,
+        )
+        assert page.document.get_element_by_id("f").value == "user input"
+
+    def test_dispatched_log(self):
+        page = run("<div onmouseover='x=1;'></div>")
+        assert any("mouseover" in entry for entry in page.explorer.dispatched)

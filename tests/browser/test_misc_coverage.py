@@ -1,0 +1,135 @@
+"""Additional coverage for thinner browser paths."""
+
+from repro.browser.page import Browser
+
+
+def load(html, **kwargs):
+    return Browser(seed=0, **kwargs).load(html)
+
+
+def g(page, name):
+    return page.interpreter.global_object.get_own(name)
+
+
+class TestInnerHtmlSideEffects:
+    def test_iframe_in_inner_html_loads(self):
+        """Real browsers load iframes inserted via innerHTML (scripts no,
+        iframes yes)."""
+        page = load(
+            """
+            <div id='host'></div>
+            <script>
+            document.getElementById('host').innerHTML =
+              '<iframe id="f" src="sub.html"></iframe>';
+            </script>
+            """,
+            resources={"sub.html": "<script>nestedRan = 1;</script>"},
+        )
+        assert g(page, "nestedRan") == 1.0
+
+    def test_image_in_inner_html_loads(self):
+        page = load(
+            """
+            <div id='host'></div>
+            <script>
+            document.getElementById('host').innerHTML =
+              '<img id="im" src="p.png" onload="imgRan = 1;">';
+            </script>
+            """,
+            resources={"p.png": "bin"},
+        )
+        assert g(page, "imgRan") == 1.0
+
+    def test_handler_attributes_in_inner_html_registered(self):
+        page = load(
+            """
+            <div id='host'></div>
+            <script>
+            document.getElementById('host').innerHTML =
+              '<button id="b" onclick="pressed = 1;">go</button>';
+            document.getElementById('b').click();
+            </script>
+            """
+        )
+        assert g(page, "pressed") == 1.0
+
+
+class TestDocumentListeners:
+    def test_dcl_listener_add_and_remove(self):
+        page = load(
+            """
+            <script>
+            var h = function() { dclRan = 1; };
+            document.addEventListener('DOMContentLoaded', h);
+            document.removeEventListener('DOMContentLoaded', h);
+            </script>
+            """
+        )
+        assert not page.interpreter.global_object.has_own("dclRan")
+
+    def test_multiple_dcl_listeners(self):
+        page = load(
+            """
+            <script>
+            document.addEventListener('DOMContentLoaded', function() { a = 1; });
+            document.addEventListener('DOMContentLoaded', function() { b = 1; });
+            </script>
+            """
+        )
+        assert g(page, "a") == 1.0
+        assert g(page, "b") == 1.0
+
+
+class TestWindowMisc:
+    def test_js_has_on_window(self):
+        page = load(
+            "<script>known = 'document' in window; mine = 'x' in window; "
+            "x = 1; after = 'x' in window;</script>"
+        )
+        assert g(page, "known") is True
+        assert g(page, "mine") is False
+        assert g(page, "after") is True
+
+    def test_window_location_is_url(self):
+        page = Browser(seed=0).load("<script>loc = window.location;</script>", url="my.html")
+        assert g(page, "loc") == "my.html"
+
+    def test_console_log_captured_on_page(self):
+        page = load("<script>console.log('from page', 42);</script>")
+        assert page.console == ["from page 42"]
+
+
+class TestElementMisc:
+    def test_owner_document(self):
+        page = load(
+            "<div id='d'></div>"
+            "<script>same = document.getElementById('d').ownerDocument === document;</script>"
+        )
+        assert g(page, "same") is True
+
+    def test_offset_width_visibility(self):
+        page = load(
+            "<div id='v'></div><div id='h' style='display:none'></div>"
+            "<script>wv = document.getElementById('v').offsetWidth;"
+            "wh = document.getElementById('h').offsetWidth;</script>"
+        )
+        assert g(page, "wv") > 0
+        assert g(page, "wh") == 0.0
+
+    def test_checkbox_change_handler_on_exploration(self):
+        browser = Browser(seed=0)
+        page = browser.open(
+            "<input type='checkbox' id='c' onchange='changed = 1;'>"
+        )
+        page.auto_explore = True
+        page.run()
+        assert g(page, "changed") == 1.0
+
+
+class TestSelectField:
+    def test_selected_index_read(self):
+        page = load(
+            "<select id='s' selectedindex='2'></select>"
+            "<script>idx = document.getElementById('s').selectedIndex;</script>"
+        )
+        assert g(page, "idx") == 2.0

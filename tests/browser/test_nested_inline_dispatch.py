@@ -1,0 +1,123 @@
+"""Edge cases for Appendix A operation splitting: nested inline dispatch."""
+
+from repro.browser.page import Browser
+from repro.core.operations import SEGMENT
+
+
+def load(html, **kwargs):
+    return Browser(seed=0, **kwargs).load(html)
+
+
+def g(page, name):
+    return page.interpreter.global_object.get_own(name)
+
+
+class TestNestedSplitting:
+    def test_handler_clicking_another_element(self):
+        """A click handler that itself calls click() splits both the
+        script operation and the outer handler operation."""
+        page = load(
+            """
+            <div id='a'></div>
+            <div id='b'></div>
+            <script>
+            var a = document.getElementById('a');
+            var b = document.getElementById('b');
+            b.onclick = function() { bRan = 1; };
+            a.onclick = function() { aStart = 1; b.click(); aEnd = 1; };
+            a.click();
+            afterAll = 1;
+            </script>
+            """
+        )
+        for name in ("bRan", "aStart", "aEnd", "afterAll"):
+            assert g(page, name) == 1.0
+        segments = [op for op in page.trace.operations if op.kind == SEGMENT]
+        # One split of the script (a.click) and one of a's handler (b.click).
+        assert len(segments) == 2
+
+    def test_nested_split_ordering(self):
+        page = load(
+            """
+            <div id='a'></div>
+            <div id='b'></div>
+            <script>
+            var a = document.getElementById('a');
+            var b = document.getElementById('b');
+            b.onclick = function() { inner = 1; };
+            a.onclick = function() { b.click(); };
+            a.click();
+            tail = 1;
+            </script>
+            """
+        )
+        graph = page.monitor.graph
+        ops = {op.op_id: op for op in page.trace.operations}
+        segments = sorted(
+            (op for op in ops.values() if op.kind == SEGMENT),
+            key=lambda op: op.op_id,
+        )
+        # Every segment is ordered after its parent (transitively through
+        # the dispatched handlers).
+        for segment in segments:
+            assert graph.happens_before(segment.parent, segment.op_id)
+
+    def test_double_split_of_same_operation(self):
+        """Two inline dispatches from one script chain two segments."""
+        page = load(
+            """
+            <div id='a' onclick='hits = (typeof hits == "undefined") ? 1 : hits + 1;'></div>
+            <script>
+            var a = document.getElementById('a');
+            a.click();
+            mid = 1;
+            a.click();
+            end = 1;
+            </script>
+            """
+        )
+        assert g(page, "hits") == 2.0
+        assert g(page, "mid") == 1.0 and g(page, "end") == 1.0
+        segments = [op for op in page.trace.operations if op.kind == SEGMENT]
+        assert len(segments) == 2
+        # The second segment's parent is the first segment.
+        first, second = sorted(segments, key=lambda op: op.op_id)
+        assert second.parent == first.op_id
+
+    def test_accesses_attributed_across_double_split(self):
+        page = load(
+            """
+            <div id='a' onclick='h = 1;'></div>
+            <script>
+            pre = 1;
+            document.getElementById('a').click();
+            mid = 1;
+            document.getElementById('a').click();
+            post = 1;
+            </script>
+            """
+        )
+        by_name = {}
+        for access in page.trace.accesses:
+            name = getattr(access.location, "name", None)
+            if name in ("pre", "mid", "post") and access.is_write:
+                by_name[name] = access.op_id
+        assert by_name["pre"] != by_name["mid"] != by_name["post"]
+        assert by_name["pre"] != by_name["post"]
+
+    def test_timer_created_after_split_gets_segment_edge(self):
+        page = load(
+            """
+            <div id='a' onclick='h = 1;'></div>
+            <script>
+            document.getElementById('a').click();
+            setTimeout('late = 1;', 5);
+            </script>
+            """
+        )
+        assert g(page, "late") == 1.0
+        edges = page.monitor.graph.edges_by_rule("16:settimeout-before-cb")
+        segment_ids = {
+            op.op_id for op in page.trace.operations if op.kind == SEGMENT
+        }
+        assert any(edge.src in segment_ids for edge in edges)

@@ -1,0 +1,77 @@
+"""Tests for the network simulator."""
+
+from repro.browser.event_loop import EventLoop
+from repro.browser.network import NetworkSimulator
+
+
+def make(resources=None, **kwargs):
+    loop = EventLoop()
+    return loop, NetworkSimulator(loop, resources=resources or {}, **kwargs)
+
+
+class TestFetch:
+    def test_known_resource_completes_ok(self):
+        loop, net = make({"a.js": "var x = 1;"})
+        results = []
+        net.fetch("a.js", results.append)
+        loop.run()
+        assert results[0].ok
+        assert results[0].content == "var x = 1;"
+
+    def test_unknown_resource_404(self):
+        loop, net = make({})
+        results = []
+        net.fetch("missing.js", results.append)
+        loop.run()
+        assert not results[0].ok
+        assert results[0].status == 404
+
+    def test_completion_happens_after_latency(self):
+        loop, net = make({"a.js": "x"}, latencies={"a.js": 33.0})
+        times = []
+        net.fetch("a.js", lambda result: times.append(loop.clock.now))
+        loop.run()
+        assert times == [33.0]
+
+    def test_latency_override_beats_random(self):
+        _loop, net = make({}, seed=1, latencies={"fast.js": 1.0})
+        assert net.latency_for("fast.js") == 1.0
+
+    def test_random_latency_within_bounds(self):
+        _loop, net = make({}, seed=5, min_latency=10.0, max_latency=20.0)
+        for _ in range(50):
+            assert 10.0 <= net.latency_for("any.js") <= 20.0
+
+    def test_seeded_latencies_reproducible(self):
+        _loop1, net1 = make({}, seed=9)
+        _loop2, net2 = make({}, seed=9)
+        urls = [f"r{i}.js" for i in range(10)]
+        assert [net1.latency_for(u) for u in urls] == [
+            net2.latency_for(u) for u in urls
+        ]
+
+    def test_different_seeds_differ(self):
+        _loop1, net1 = make({}, seed=1)
+        _loop2, net2 = make({}, seed=2)
+        urls = [f"r{i}.js" for i in range(10)]
+        assert [net1.latency_for(u) for u in urls] != [
+            net2.latency_for(u) for u in urls
+        ]
+
+    def test_degenerate_latency_range(self):
+        _loop, net = make({}, min_latency=7.0, max_latency=7.0)
+        assert net.latency_for("x") == 7.0
+
+    def test_fetch_count(self):
+        loop, net = make({"a": "1"})
+        net.fetch("a", lambda result: None)
+        net.fetch("a", lambda result: None)
+        assert net.fetch_count == 2
+
+    def test_add_resource_later(self):
+        loop, net = make({})
+        net.add_resource("late.js", "x")
+        results = []
+        net.fetch("late.js", results.append)
+        loop.run()
+        assert results[0].ok

@@ -1,0 +1,145 @@
+"""Tests for the XMLHttpRequest simulation (rule 10)."""
+
+from repro.browser.page import Browser
+
+
+def load(html, **kwargs):
+    return Browser(seed=0, **kwargs).load(html)
+
+
+def g(page, name):
+    return page.interpreter.global_object.get_own(name)
+
+
+class TestBasicRequest:
+    def test_successful_get(self):
+        page = load(
+            """
+            <script>
+            var xr = new XMLHttpRequest();
+            xr.open('GET', 'api.json');
+            xr.onreadystatechange = function() {
+              if (xr.readyState == 4) { body = xr.responseText; code = xr.status; }
+            };
+            xr.send();
+            </script>
+            """,
+            resources={"api.json": '{"v": 1}'},
+        )
+        assert g(page, "body") == '{"v": 1}'
+        assert g(page, "code") == 200.0
+
+    def test_missing_resource_404(self):
+        page = load(
+            """
+            <script>
+            var xr = new XMLHttpRequest();
+            xr.open('GET', 'missing.json');
+            xr.onreadystatechange = function() { code = xr.status; };
+            xr.send();
+            </script>
+            """
+        )
+        assert g(page, "code") == 404.0
+
+    def test_ready_state_progression(self):
+        page = load(
+            """
+            <script>
+            var xr = new XMLHttpRequest();
+            initial = xr.readyState;
+            xr.open('GET', 'a.json');
+            opened = xr.readyState;
+            xr.onreadystatechange = function() { final = xr.readyState; };
+            xr.send();
+            </script>
+            """,
+            resources={"a.json": "x"},
+        )
+        assert g(page, "initial") == 0.0
+        assert g(page, "opened") == 1.0
+        assert g(page, "final") == 4.0
+
+    def test_add_event_listener_variant(self):
+        page = load(
+            """
+            <script>
+            var xr = new XMLHttpRequest();
+            xr.open('GET', 'a.json');
+            xr.addEventListener('readystatechange', function() { hit = xr.readyState; });
+            xr.send();
+            </script>
+            """,
+            resources={"a.json": "x"},
+        )
+        assert g(page, "hit") == 4.0
+
+
+class TestRule10:
+    def test_send_edge_exists(self):
+        page = load(
+            """
+            <script>
+            var xr = new XMLHttpRequest();
+            xr.open('GET', 'a.json');
+            xr.onreadystatechange = function() { done = 1; };
+            xr.send();
+            </script>
+            """,
+            resources={"a.json": "x"},
+        )
+        edges = page.monitor.graph.edges_by_rule("10:send-before-readystatechange")
+        assert edges
+        # The sending operation happens before the handler execution.
+        handler_ops = [
+            op.op_id
+            for op in page.trace.operations
+            if op.kind == "dispatch"
+            and op.meta.get("event") == "readystatechange"
+            and op.meta.get("role") == "handler"
+        ]
+        exe_ops = [op.op_id for op in page.trace.operations if op.kind == "exe"]
+        assert page.monitor.graph.happens_before(exe_ops[0], handler_ops[0])
+
+    def test_late_handler_registration_races(self):
+        """Registering onreadystatechange *after* send() races with the
+        dispatch — an AJAX race (Section 8, the Zheng et al. class)."""
+        page = load(
+            """
+            <script>
+            var xr = new XMLHttpRequest();
+            xr.open('GET', 'a.json');
+            xr.send();
+            setTimeout(function() {
+              xr.onreadystatechange = function() { late = 1; };
+            }, 30);
+            </script>
+            """,
+            resources={"a.json": "x"},
+            latencies={"a.json": 30.0},
+        )
+        races = [
+            race
+            for race in page.races
+            if getattr(race.location, "event", "") == "readystatechange"
+        ]
+        assert races, "late handler registration must race with dispatch"
+
+
+class TestXhrCrashes:
+    def test_handler_crash_is_hidden(self):
+        page = load(
+            """
+            <script>
+            var xr = new XMLHttpRequest();
+            xr.open('GET', 'a.json');
+            xr.onreadystatechange = function() { undefinedFn(); };
+            xr.send();
+            after = 1;
+            </script>
+            """,
+            resources={"a.json": "x"},
+        )
+        assert g(page, "after") == 1.0
+        assert any(crash.kind == "ReferenceError" for crash in page.trace.crashes)
+        assert page.loaded()

@@ -1,0 +1,221 @@
+"""Tests for the constant-memory race detector (Section 5.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.access import READ, WRITE, Access
+from repro.core.detector import READ_WRITE, WRITE_WRITE, RaceDetector
+from repro.core.full_detector import FullHistoryDetector
+from repro.core.hb.graph import HBGraph
+from repro.core.locations import VarLocation
+
+LOC = VarLocation(cell_id=1, name="x")
+OTHER = VarLocation(cell_id=2, name="y")
+
+
+def access(kind, op, location=LOC):
+    return Access(kind=kind, op_id=op, location=location)
+
+
+def detector_with(edges, **kwargs):
+    graph = HBGraph()
+    for src, dst in edges:
+        graph.add_edge(src, dst)
+    return RaceDetector(graph, **kwargs)
+
+
+class TestBasicDetection:
+    def test_concurrent_write_write_race(self):
+        det = detector_with([(1, 2), (1, 3)])
+        det.on_access(access(WRITE, 2))
+        det.on_access(access(WRITE, 3))
+        assert len(det.races) == 1
+        assert det.races[0].kind == WRITE_WRITE
+
+    def test_concurrent_write_then_read_race(self):
+        det = detector_with([(1, 2), (1, 3)])
+        det.on_access(access(WRITE, 2))
+        det.on_access(access(READ, 3))
+        assert det.races[0].kind == READ_WRITE
+
+    def test_concurrent_read_then_write_race(self):
+        det = detector_with([(1, 2), (1, 3)])
+        det.on_access(access(READ, 2))
+        det.on_access(access(WRITE, 3))
+        assert det.races[0].kind == READ_WRITE
+
+    def test_ordered_accesses_do_not_race(self):
+        det = detector_with([(2, 3)])
+        det.on_access(access(WRITE, 2))
+        det.on_access(access(WRITE, 3))
+        assert det.races == []
+
+    def test_read_read_never_races(self):
+        det = detector_with([(1, 2), (1, 3)])
+        det.on_access(access(READ, 2))
+        det.on_access(access(READ, 3))
+        assert det.races == []
+
+    def test_same_operation_does_not_race_with_itself(self):
+        det = detector_with([])
+        det.on_access(access(WRITE, 2))
+        det.on_access(access(WRITE, 2))
+        assert det.races == []
+
+    def test_initial_access_never_races(self):
+        det = detector_with([])
+        det.on_access(access(WRITE, 5))
+        assert det.races == []
+
+    def test_distinct_locations_do_not_interact(self):
+        det = detector_with([(1, 2), (1, 3)])
+        det.on_access(access(WRITE, 2, LOC))
+        det.on_access(access(WRITE, 3, OTHER))
+        assert det.races == []
+
+
+class TestReportingPolicy:
+    def test_one_race_per_location_by_default(self):
+        """Footnote 13: at most one race per location per run."""
+        det = detector_with([(1, 2), (1, 3), (1, 4)])
+        det.on_access(access(WRITE, 2))
+        det.on_access(access(WRITE, 3))
+        det.on_access(access(WRITE, 4))
+        assert len(det.races) == 1
+
+    def test_report_all_per_location(self):
+        det = detector_with([(1, 2), (1, 3), (1, 4)], report_all_per_location=True)
+        det.on_access(access(WRITE, 2))
+        det.on_access(access(WRITE, 3))
+        det.on_access(access(WRITE, 4))
+        # (2,3) and (3,4); (2,4) is invisible — only the last write is kept.
+        assert len(det.races) == 2
+
+    def test_write_prefers_ww_over_rw(self):
+        det = detector_with([(1, 2), (1, 3), (1, 4)])
+        det.on_access(access(READ, 2))
+        det.on_access(access(WRITE, 3))  # RW race vs read 2
+        assert det.races[0].kind == READ_WRITE
+
+    def test_chc_queries_counted(self):
+        det = detector_with([(1, 2), (1, 3)])
+        det.on_access(access(WRITE, 2))
+        det.on_access(access(READ, 3))
+        assert det.chc_queries >= 1
+
+
+class TestPaperLimitation:
+    def test_section_5_1_miss_example(self):
+        """The paper's own example: ops 1,2,3 access e; only 1 ≺ 2.
+        Schedule 3·1·2 hides the (2,3) race from the constant-memory
+        detector but not from the full-history detector."""
+        graph = HBGraph()
+        graph.add_edge(1, 2)
+        graph.add_operation(3)
+        constant = RaceDetector(graph)
+        full = FullHistoryDetector(graph)
+
+        sequence = [access(READ, 3), access(READ, 1), access(WRITE, 2)]
+        for acc in sequence:
+            constant.on_access(acc)
+        for acc in sequence:
+            full.on_access(acc)
+
+        # Constant-memory: the write checks only LastRead = op 1 (ordered),
+        # so it misses the 2-3 race entirely.
+        assert constant.races == []
+        # Full history sees the (3, 2) pair.
+        assert len(full.races) == 1
+        assert {full.races[0].prior.op_id, full.races[0].current.op_id} == {2, 3}
+
+    def test_favourable_schedule_catches_it(self):
+        graph = HBGraph()
+        graph.add_edge(1, 2)
+        graph.add_operation(3)
+        constant = RaceDetector(graph)
+        for acc in [access(READ, 1), access(READ, 3), access(WRITE, 2)]:
+            constant.on_access(acc)
+        assert len(constant.races) == 1
+
+
+# ----------------------------------------------------------------------
+# hypothesis: detector invariants against brute force
+
+ops = st.integers(1, 10)
+edges_strategy = st.lists(
+    st.tuples(ops, ops).map(lambda p: (min(p), max(p))).filter(lambda p: p[0] != p[1]),
+    max_size=15,
+)
+accesses_strategy = st.lists(
+    st.tuples(st.sampled_from([READ, WRITE]), ops), min_size=1, max_size=15
+)
+
+
+@given(edges_strategy, accesses_strategy)
+@settings(max_examples=200, deadline=None)
+def test_every_reported_race_is_a_real_race(edges, raw_accesses):
+    """Soundness: each reported race is CHC-unordered and involves a write."""
+    graph = HBGraph()
+    for src, dst in edges:
+        graph.add_edge(src, dst)
+    for _kind, op in raw_accesses:
+        graph.add_operation(op)
+    det = RaceDetector(graph, report_all_per_location=True)
+    for kind, op in raw_accesses:
+        det.on_access(access(kind, op))
+    for race in det.races:
+        assert race.prior.is_write or race.current.is_write
+        assert graph.concurrent(race.prior.op_id, race.current.op_id)
+
+
+@given(edges_strategy, accesses_strategy)
+@settings(max_examples=200, deadline=None)
+def test_constant_memory_detector_subset_of_full(edges, raw_accesses):
+    """Every racing location the paper's detector reports, the full-history
+    detector reports too (the converse fails — Section 5.1 limitation)."""
+    graph = HBGraph()
+    for src, dst in edges:
+        graph.add_edge(src, dst)
+    for _kind, op in raw_accesses:
+        graph.add_operation(op)
+    constant = RaceDetector(graph)
+    full = FullHistoryDetector(graph)
+    for kind, op in raw_accesses:
+        constant.on_access(access(kind, op))
+        full.on_access(access(kind, op))
+    constant_locations = {race.location for race in constant.races}
+    full_locations = {race.location for race in full.races}
+    assert constant_locations <= full_locations
+
+
+@given(edges_strategy, accesses_strategy)
+@settings(max_examples=200, deadline=None)
+def test_full_detector_matches_brute_force(edges, raw_accesses):
+    """The full-history detector reports exactly the brute-force racing
+    pairs of the executed schedule."""
+    graph = HBGraph()
+    for src, dst in edges:
+        graph.add_edge(src, dst)
+    for _kind, op in raw_accesses:
+        graph.add_operation(op)
+    full = FullHistoryDetector(graph)
+    recorded = [access(kind, op) for kind, op in raw_accesses]
+    for acc in recorded:
+        full.on_access(acc)
+
+    expected_pairs = set()
+    for i, first in enumerate(recorded):
+        for second in recorded[i + 1 :]:
+            if first.op_id == second.op_id:
+                continue
+            if not (first.is_write or second.is_write):
+                continue
+            if graph.concurrent(first.op_id, second.op_id):
+                expected_pairs.add(
+                    (min(first.op_id, second.op_id), max(first.op_id, second.op_id))
+                )
+    got_pairs = {
+        (min(r.prior.op_id, r.current.op_id), max(r.prior.op_id, r.current.op_id))
+        for r in full.races
+    }
+    assert got_pairs == expected_pairs

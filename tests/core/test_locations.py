@@ -1,0 +1,108 @@
+"""Tests for logical memory locations (Section 4)."""
+
+import pytest
+
+from repro.core.locations import (
+    ATTR_SLOT,
+    CollectionLocation,
+    DomPropLocation,
+    HandlerLocation,
+    HElemLocation,
+    PropLocation,
+    VarLocation,
+    describe_key,
+    id_key,
+    location_family,
+    node_key,
+)
+
+
+class TestIdentity:
+    def test_id_keyed_elements_collide_across_lookups(self):
+        """getElementById('dw') before parsing must hit the same location
+        the later <div id=dw> insertion writes (Fig. 3)."""
+        read_location = HElemLocation(id_key(7, "dw"))
+        write_location = HElemLocation(id_key(7, "dw"))
+        assert read_location == write_location
+        assert hash(read_location) == hash(write_location)
+
+    def test_different_documents_distinct(self):
+        assert HElemLocation(id_key(1, "dw")) != HElemLocation(id_key(2, "dw"))
+
+    def test_node_keyed_elements_distinct(self):
+        assert HElemLocation(node_key(4)) != HElemLocation(node_key(5))
+
+    def test_var_locations_by_cell(self):
+        assert VarLocation(1, "x") == VarLocation(1, "x")
+        assert VarLocation(1, "x") != VarLocation(2, "x")
+
+    def test_prop_locations(self):
+        assert PropLocation(10, "f") == PropLocation(10, "f")
+        assert PropLocation(10, "f") != PropLocation(10, "g")
+
+    def test_handler_location_split_by_handler(self):
+        """Disjoint handlers for the same event must not interfere
+        (Section 4.3)."""
+        base = (id_key(1, "btn"), "click")
+        assert HandlerLocation(*base, "fn:1") != HandlerLocation(*base, "fn:2")
+        assert HandlerLocation(*base, ATTR_SLOT) != HandlerLocation(*base, "fn:1")
+
+    def test_handler_location_split_by_event(self):
+        key = id_key(1, "btn")
+        assert HandlerLocation(key, "click") != HandlerLocation(key, "focus")
+
+    def test_collection_locations(self):
+        assert CollectionLocation(1, "tag", "div") == CollectionLocation(1, "tag", "div")
+        assert CollectionLocation(1, "tag", "div") != CollectionLocation(1, "tag", "img")
+        assert CollectionLocation(1, "images") != CollectionLocation(1, "forms")
+
+
+class TestFormFieldDetection:
+    def test_input_value_is_form_field(self):
+        location = DomPropLocation(id_key(1, "q"), "value", tag="input")
+        assert location.is_form_field_value
+
+    def test_textarea_and_select(self):
+        assert DomPropLocation(node_key(2), "value", tag="textarea").is_form_field_value
+        assert DomPropLocation(node_key(2), "selectedIndex", tag="select").is_form_field_value
+
+    def test_checked_is_form_field(self):
+        assert DomPropLocation(node_key(3), "checked", tag="input").is_form_field_value
+
+    def test_div_value_is_not(self):
+        assert not DomPropLocation(node_key(3), "value", tag="div").is_form_field_value
+
+    def test_input_style_is_not(self):
+        assert not DomPropLocation(node_key(3), "style", tag="input").is_form_field_value
+
+
+class TestFamilies:
+    def test_jsvar_family(self):
+        assert location_family(VarLocation(1, "x")) == "jsvar"
+        assert location_family(PropLocation(1, "x")) == "jsvar"
+        assert location_family(DomPropLocation(node_key(1), "value", "input")) == "jsvar"
+
+    def test_helem_family(self):
+        assert location_family(HElemLocation(node_key(1))) == "helem"
+        assert location_family(CollectionLocation(1, "images")) == "helem"
+
+    def test_eloc_family(self):
+        assert location_family(HandlerLocation(node_key(1), "load")) == "eloc"
+
+    def test_non_location_raises(self):
+        with pytest.raises(TypeError):
+            location_family("not a location")
+
+
+class TestDescriptions:
+    def test_describe_key(self):
+        assert describe_key(id_key(1, "dw")) == "#dw"
+        assert "node" in describe_key(node_key(9))
+
+    def test_describe_handler(self):
+        text = HandlerLocation(id_key(1, "i"), "load").describe()
+        assert "onload" in text
+
+    def test_describe_dom_prop(self):
+        text = DomPropLocation(id_key(1, "q"), "value", "input").describe()
+        assert "#q.value" == text

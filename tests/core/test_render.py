@@ -1,0 +1,113 @@
+"""Tests for the text rendering helpers."""
+
+from repro.core.access import READ, WRITE, Access
+from repro.core.detector import Race, READ_WRITE
+from repro.core.locations import HElemLocation, id_key
+from repro.core.render import (
+    render_crashes,
+    render_race_report,
+    render_table1,
+    render_table2,
+)
+from repro.core.report import RaceReport, build_report
+from repro.core.trace import Trace
+from repro.js.errors import JSErrorValue, ScriptCrash
+
+
+def make_report(harmful=True):
+    location = HElemLocation(id_key(1, "dw"))
+    race = Race(
+        location=location,
+        prior=Access(kind=READ, op_id=2, location=location, detail={"found": False}),
+        current=Access(kind=WRITE, op_id=3, location=location),
+        kind=READ_WRITE,
+    )
+    trace = Trace()
+    if harmful:
+        trace.record_crash(ScriptCrash(2, JSErrorValue("TypeError", "x")))
+    return build_report([race], trace)
+
+
+class TestRaceReportRendering:
+    def test_empty_report(self):
+        text = render_race_report(RaceReport(), title="Empty")
+        assert "Empty" in text
+        assert "no races" in text
+
+    def test_harmful_marked(self):
+        text = render_race_report(make_report(harmful=True))
+        assert "!!" in text
+        assert "HTML 1 (1)" in text
+
+    def test_benign_not_marked(self):
+        text = render_race_report(make_report(harmful=False))
+        assert "!!" not in text
+        assert "HTML 1 (0)" in text
+
+    def test_total_line(self):
+        assert "total: 1" in render_race_report(make_report())
+
+
+class TestTableRendering:
+    T1 = {
+        "html": {"mean": 2.2, "median": 0.0, "max": 112},
+        "function": {"mean": 0.4, "median": 0.0, "max": 6},
+        "variable": {"mean": 22.4, "median": 5.5, "max": 269},
+        "event_dispatch": {"mean": 22.3, "median": 7.0, "max": 198},
+        "all": {"mean": 47.3, "median": 27.0, "max": 278},
+    }
+
+    def test_table1_without_paper(self):
+        text = render_table1(self.T1)
+        assert "HTML" in text and "112" in text
+        assert "p.Mean" not in text
+
+    def test_table1_with_paper_columns(self):
+        text = render_table1(self.T1, paper=self.T1)
+        assert "p.Mean" in text
+
+    def test_table2_rows_and_totals(self):
+        rows = [
+            {
+                "site": "Ford",
+                "html": (112, 0),
+                "function": (0, 0),
+                "variable": (0, 0),
+                "event_dispatch": (0, 0),
+            }
+        ]
+        totals = {
+            "html": (112, 0),
+            "function": (0, 0),
+            "variable": (0, 0),
+            "event_dispatch": (0, 0),
+        }
+        text = render_table2(rows, totals=totals, paper_totals=totals)
+        assert "Ford" in text
+        assert "112 (0)" in text
+        assert "Total" in text and "Paper" in text
+
+    def test_table2_empty_cells_blank(self):
+        rows = [
+            {
+                "site": "Clean",
+                "html": (0, 0),
+                "function": (0, 0),
+                "variable": (0, 0),
+                "event_dispatch": (0, 0),
+            }
+        ]
+        text = render_table2(rows)
+        line = [l for l in text.splitlines() if "Clean" in l][0]
+        assert "(" not in line
+
+
+class TestCrashRendering:
+    def test_no_crashes(self):
+        assert "no hidden crashes" in render_crashes([])
+
+    def test_crash_lines(self):
+        crash = ScriptCrash(5, JSErrorValue("ReferenceError", "f is not defined"))
+        text = render_crashes([crash])
+        assert "op 5" in text
+        assert "ReferenceError" in text

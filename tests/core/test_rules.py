@@ -1,0 +1,154 @@
+"""Tests for the paper's happens-before rule engine (Section 3.3)."""
+
+import pytest
+
+from repro.core.hb import rules as R
+from repro.core.hb.graph import HBGraph
+from repro.core.hb.rules import RuleEngine
+
+
+@pytest.fixture
+def engine():
+    return RuleEngine(HBGraph())
+
+
+class TestStaticHtmlRules:
+    def test_rule_1a_orders_parses(self, engine):
+        engine.static_order(1, 2)
+        assert engine.happens_before(1, 2)
+        assert engine.graph.edges_by_rule(R.RULE_1A)
+
+    def test_rule_1b_inline_script(self, engine):
+        engine.inline_script_before_next_parse(3, 4)
+        assert engine.happens_before(3, 4)
+
+    def test_rule_1c_sync_script_load_set(self, engine):
+        engine.sync_script_load_before_next_parse([2, 3], 5)
+        assert engine.happens_before(2, 5)
+        assert engine.happens_before(3, 5)
+
+
+class TestScriptRules:
+    def test_rule_2_create_before_exe(self, engine):
+        engine.create_before_exe(1, 2)
+        assert engine.happens_before(1, 2)
+
+    def test_rule_3_exe_before_load(self, engine):
+        engine.exe_before_load(1, [2, 3])
+        assert engine.happens_before(1, 2)
+        assert engine.happens_before(1, 3)
+
+
+class TestDeferredRules:
+    def test_rule_4(self, engine):
+        engine.pre_dcl_create_before_deferred_exe(1, 9)
+        assert engine.happens_before(1, 9)
+
+    def test_rule_5_deferred_order(self, engine):
+        engine.deferred_order([4, 5], 6)
+        assert engine.happens_before(4, 6)
+        assert engine.happens_before(5, 6)
+
+
+class TestFrameRules:
+    def test_rule_6(self, engine):
+        engine.iframe_create_before_nested_create(1, 7)
+        assert engine.happens_before(1, 7)
+
+    def test_rule_7(self, engine):
+        engine.nested_window_load_before_iframe_load([3, 4], [8, 9])
+        for nested in (3, 4):
+            for outer in (8, 9):
+                assert engine.happens_before(nested, outer)
+
+
+class TestEventRules:
+    def test_rule_8(self, engine):
+        engine.target_created_before_dispatch(1, [5, 6])
+        assert engine.happens_before(1, 5)
+        assert engine.happens_before(1, 6)
+
+    def test_rule_9_cross_product(self, engine):
+        engine.earlier_dispatch_first([2, 3], [7, 8])
+        for early in (2, 3):
+            for late in (7, 8):
+                assert engine.happens_before(early, late)
+
+    def test_rule_10_ajax(self, engine):
+        engine.send_before_readystatechange(2, [6])
+        assert engine.happens_before(2, 6)
+
+
+class TestLoadRules:
+    def test_rule_11(self, engine):
+        engine.dcl_before_window_load([3], [7])
+        assert engine.happens_before(3, 7)
+
+    def test_rule_12(self, engine):
+        engine.parse_before_dcl(1, [4])
+        assert engine.happens_before(1, 4)
+
+    def test_rule_13(self, engine):
+        engine.inline_exe_before_dcl(2, [4])
+        assert engine.happens_before(2, 4)
+
+    def test_rule_14(self, engine):
+        engine.script_load_before_dcl([2], [4])
+        assert engine.happens_before(2, 4)
+
+    def test_rule_15(self, engine):
+        engine.element_load_before_window_load([2, 3], [9])
+        assert engine.happens_before(2, 9)
+        assert engine.happens_before(3, 9)
+
+
+class TestTimerRules:
+    def test_rule_16(self, engine):
+        engine.settimeout_before_cb(1, 5)
+        assert engine.happens_before(1, 5)
+
+    def test_rule_17_first_and_chain(self, engine):
+        engine.setinterval_before_first(1, 2)
+        engine.interval_successor(2, 3)
+        engine.interval_successor(3, 4)
+        assert engine.happens_before(1, 4)  # transitive chain
+
+    def test_interval_callbacks_concurrent_with_other_work(self, engine):
+        engine.setinterval_before_first(1, 2)
+        engine.graph.add_edge(1, 9, "other")
+        assert engine.chc(2, 9)
+
+
+class TestAppendixRules:
+    def test_inline_dispatch_split(self, engine):
+        # A=1 splits around handlers {3, 4}; post-segment is 5.
+        engine.inline_dispatch_split(1, [3, 4], 5)
+        assert engine.happens_before(1, 3)
+        assert engine.happens_before(1, 4)
+        assert engine.happens_before(3, 5)
+        assert engine.happens_before(4, 5)
+        assert engine.happens_before(1, 5)  # transitively through handlers
+
+    def test_event_phasing(self, engine):
+        engine.event_phasing([2], [3])
+        assert engine.happens_before(2, 3)
+
+
+class TestEngineMechanics:
+    def test_cross_product_counts_new_edges(self, engine):
+        added = engine.earlier_dispatch_first([1, 2], [3, 4])
+        assert added == 4
+        assert engine.earlier_dispatch_first([1, 2], [3, 4]) == 0  # idempotent
+
+    def test_chc_with_bottom(self, engine):
+        engine.static_order(1, 2)
+        assert not engine.chc(0, 2)
+        assert not engine.chc(1, 0)
+
+    def test_chc_unordered(self, engine):
+        engine.static_order(1, 2)
+        engine.static_order(1, 3)
+        assert engine.chc(2, 3)
+
+    def test_all_rule_labels_distinct(self):
+        assert len(set(R.ALL_RULES)) == len(R.ALL_RULES)

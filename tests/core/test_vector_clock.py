@@ -1,0 +1,97 @@
+"""Tests for the chain-decomposition vector-clock representation (E9)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hb.graph import HBGraph
+from repro.core.hb.vector_clock import ChainVectorClocks
+
+
+def make_graph(edges, nodes=()):
+    graph = HBGraph()
+    for node in nodes:
+        graph.add_operation(node)
+    for src, dst in edges:
+        graph.add_edge(src, dst)
+    return graph
+
+
+class TestChains:
+    def test_linear_graph_is_one_chain(self):
+        graph = make_graph([(1, 2), (2, 3), (3, 4)])
+        clocks = ChainVectorClocks(graph)
+        assert clocks.chain_count == 1
+
+    def test_disjoint_nodes_get_own_chains(self):
+        graph = make_graph([], nodes=[1, 2, 3])
+        clocks = ChainVectorClocks(graph)
+        assert clocks.chain_count == 3
+
+    def test_fork_join(self):
+        graph = make_graph([(1, 2), (1, 3), (2, 4), (3, 4)])
+        clocks = ChainVectorClocks(graph)
+        assert clocks.happens_before(1, 4)
+        assert clocks.happens_before(2, 4)
+        assert clocks.happens_before(3, 4)
+        assert clocks.concurrent(2, 3)
+        # Two parallel branches -> at least two chains.
+        assert clocks.chain_count >= 2
+
+    def test_chains_partition_operations(self):
+        graph = make_graph([(1, 2), (1, 3), (3, 5), (2, 4)])
+        clocks = ChainVectorClocks(graph)
+        seen = [op for chain in clocks.chains() for op in chain]
+        assert sorted(seen) == graph.operation_ids()
+
+    def test_memory_cells_positive(self):
+        graph = make_graph([(1, 2), (2, 3)])
+        assert ChainVectorClocks(graph).memory_cells() >= 3
+
+
+class TestQueries:
+    def test_chc_bottom(self):
+        graph = make_graph([(1, 2)])
+        clocks = ChainVectorClocks(graph)
+        assert not clocks.chc(0, 2)
+        assert not clocks.chc(1, 0)
+
+    def test_unknown_operation_not_ordered(self):
+        graph = make_graph([(1, 2)])
+        clocks = ChainVectorClocks(graph)
+        assert not clocks.happens_before(1, 99)
+        assert not clocks.happens_before(99, 1)
+
+
+forward_edges = st.lists(
+    st.tuples(st.integers(1, 25), st.integers(1, 25)).map(
+        lambda pair: (min(pair), max(pair))
+    ).filter(lambda pair: pair[0] != pair[1]),
+    max_size=50,
+)
+
+
+@given(forward_edges)
+@settings(max_examples=200, deadline=None)
+def test_vector_clocks_equivalent_to_graph(edges):
+    """The VC representation answers every HB query exactly like the graph —
+    the soundness requirement for using it as the fast path."""
+    graph = make_graph(edges)
+    clocks = ChainVectorClocks(graph)
+    nodes = graph.operation_ids()
+    for a in nodes:
+        for b in nodes:
+            assert clocks.happens_before(a, b) == graph.happens_before(a, b), (
+                a,
+                b,
+                edges,
+            )
+
+
+@given(forward_edges)
+@settings(max_examples=100, deadline=None)
+def test_vector_clock_concurrency_matches(edges):
+    graph = make_graph(edges)
+    clocks = ChainVectorClocks(graph)
+    nodes = graph.operation_ids()
+    for a in nodes:
+        for b in nodes:
+            assert clocks.concurrent(a, b) == graph.concurrent(a, b)

@@ -1,0 +1,118 @@
+"""Tests for event dispatch planning (capture/at-target/bubble/default)."""
+
+from repro.dom.document import Document
+from repro.dom.events import (
+    AT_TARGET,
+    BUBBLE,
+    CAPTURE,
+    Event,
+    default_action,
+    plan_dispatch,
+    propagation_path,
+)
+
+
+def make_page():
+    document = Document()
+    document.ensure_root()
+    outer = document.create_element("div", {"id": "outer"})
+    inner = document.create_element("button", {"id": "inner"})
+    outer.raw_append(inner)
+    document.insert(outer)
+    return document, outer, inner
+
+
+class TestPropagationPath:
+    def test_path_ends_at_target(self):
+        document, outer, inner = make_page()
+        path = propagation_path(inner)
+        assert path[-1] is inner
+        assert outer in path
+        assert document in path
+
+    def test_path_of_detached_element(self):
+        document = Document()
+        element = document.create_element("div")
+        assert propagation_path(element) == [element]
+
+
+class TestPlanning:
+    def test_at_target_attr_handler_first(self):
+        _document, _outer, inner = make_page()
+        inner.set_attr_handler("click", "attrHandler")
+        inner.add_listener("click", "listener")
+        plan = plan_dispatch(Event(type="click", target=inner))
+        assert plan[0].via == "attr"
+        assert plan[0].phase == AT_TARGET
+        assert plan[1].via == "listener"
+
+    def test_capture_listeners_run_top_down_before_target(self):
+        document, outer, inner = make_page()
+        outer.add_listener("click", "outerCapture", capture=True)
+        inner.add_listener("click", "targetHandler")
+        plan = plan_dispatch(Event(type="click", target=inner))
+        phases = [inv.phase for inv in plan]
+        assert phases.index(CAPTURE) < phases.index(AT_TARGET)
+
+    def test_bubbling_runs_ancestors_after_target(self):
+        _document, outer, inner = make_page()
+        inner.add_listener("click", "t")
+        outer.set_attr_handler("click", "bubbleAttr")
+        plan = plan_dispatch(Event(type="click", target=inner))
+        assert [inv.phase for inv in plan] == [AT_TARGET, BUBBLE]
+        assert plan[1].current_target is outer
+
+    def test_load_does_not_bubble(self):
+        _document, outer, inner = make_page()
+        outer.set_attr_handler("load", "outerLoad")
+        inner.set_attr_handler("load", "innerLoad")
+        plan = plan_dispatch(Event(type="load", target=inner))
+        assert len(plan) == 1
+        assert plan[0].current_target is inner
+
+    def test_explicit_bubbles_flag(self):
+        _document, outer, inner = make_page()
+        outer.add_listener("custom", "h")
+        plan = plan_dispatch(Event(type="custom", target=inner, bubbles=True))
+        assert len(plan) == 1
+        assert plan[0].phase == BUBBLE
+
+    def test_no_handlers_empty_plan(self):
+        _document, _outer, inner = make_page()
+        assert plan_dispatch(Event(type="click", target=inner)) == []
+
+    def test_handler_keys_identify_listeners(self):
+        _document, _outer, inner = make_page()
+        inner.add_listener("click", "first")
+        inner.add_listener("click", "second")
+        plan = plan_dispatch(Event(type="click", target=inner))
+        assert plan[0].handler_key != plan[1].handler_key
+
+    def test_attr_invocation_key_is_attr_slot(self):
+        _document, _outer, inner = make_page()
+        inner.set_attr_handler("click", "h")
+        plan = plan_dispatch(Event(type="click", target=inner))
+        assert plan[0].handler_key == "<attr>"
+
+
+class TestDefaultAction:
+    def test_javascript_href_click(self):
+        document = Document()
+        link = document.create_element("a", {"href": "javascript:go()"})
+        event = Event(type="click", target=link)
+        assert default_action(event) == "go()"
+
+    def test_normal_href_no_action(self):
+        document = Document()
+        link = document.create_element("a", {"href": "/page"})
+        assert default_action(Event(type="click", target=link)) is None
+
+    def test_non_click_no_action(self):
+        document = Document()
+        link = document.create_element("a", {"href": "javascript:go()"})
+        assert default_action(Event(type="mouseover", target=link)) is None
+
+    def test_non_link_no_action(self):
+        document = Document()
+        div = document.create_element("div")
+        assert default_action(Event(type="click", target=div)) is None

@@ -1,0 +1,82 @@
+"""Tests for the DOM node tree structure."""
+
+from repro.dom.node import Node
+
+
+class TestStructure:
+    def test_append(self):
+        parent = Node()
+        child = Node()
+        parent.raw_append(child)
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_append_moves_from_old_parent(self):
+        a, b, child = Node(), Node(), Node()
+        a.raw_append(child)
+        b.raw_append(child)
+        assert child.parent is b
+        assert a.children == []
+
+    def test_insert_before(self):
+        parent, first, second = Node(), Node(), Node()
+        parent.raw_append(second)
+        parent.raw_insert_before(first, second)
+        assert parent.children == [first, second]
+
+    def test_insert_before_none_appends(self):
+        parent, child = Node(), Node()
+        parent.raw_insert_before(child, None)
+        assert parent.children == [child]
+
+    def test_remove(self):
+        parent, child = Node(), Node()
+        parent.raw_append(child)
+        parent.raw_remove(child)
+        assert child.parent is None
+        assert parent.children == []
+
+    def test_node_ids_unique(self):
+        assert Node().node_id != Node().node_id
+
+
+class TestTraversal:
+    def make_tree(self):
+        #      root
+        #     /    \
+        #    a      b
+        #   / \      \
+        #  c   d      e
+        root, a, b, c, d, e = (Node() for _ in range(6))
+        root.raw_append(a)
+        root.raw_append(b)
+        a.raw_append(c)
+        a.raw_append(d)
+        b.raw_append(e)
+        return root, a, b, c, d, e
+
+    def test_descendants_preorder(self):
+        root, a, b, c, d, e = self.make_tree()
+        assert root.descendants() == [a, c, d, b, e]
+
+    def test_ancestors(self):
+        root, a, _b, c, _d, _e = self.make_tree()
+        assert c.ancestors() == [a, root]
+
+    def test_root(self):
+        root, _a, _b, c, _d, e = self.make_tree()
+        assert c.root() is root
+        assert e.root() is root
+        assert root.root() is root
+
+    def test_contains(self):
+        root, a, b, c, _d, _e = self.make_tree()
+        assert root.contains(c)
+        assert a.contains(c)
+        assert not b.contains(c)
+        assert root.contains(root)
+
+    def test_child_index(self):
+        root, a, b, *_rest = self.make_tree()
+        assert root.child_index(a) == 0
+        assert root.child_index(b) == 1

@@ -1,0 +1,117 @@
+"""Tests for querySelector/querySelectorAll."""
+
+from repro.browser.page import Browser
+from repro.dom.document import Document, _parse_compound_selector
+from repro.html.parser import parse_html
+
+
+def make_document():
+    document = Document("q.html")
+    parse_html(
+        document,
+        """
+        <div id="a" class="box big"></div>
+        <div id="b" class="box"></div>
+        <p id="c" class="big"></p>
+        <span id="d"></span>
+        """,
+    )
+    return document
+
+
+class TestSelectorParsing:
+    def test_tag_only(self):
+        assert _parse_compound_selector("div") == ("div", None, [])
+
+    def test_id_only(self):
+        assert _parse_compound_selector("#dw") == ("", "dw", [])
+
+    def test_class_only(self):
+        assert _parse_compound_selector(".box") == ("", None, ["box"])
+
+    def test_compound(self):
+        assert _parse_compound_selector("div#a.box.big") == (
+            "div",
+            "a",
+            ["box", "big"],
+        )
+
+    def test_case_insensitive_tag(self):
+        assert _parse_compound_selector("DIV")[0] == "div"
+
+
+class TestQueries:
+    def test_by_id(self):
+        document = make_document()
+        assert document.query_selector("#a").element_id == "a"
+
+    def test_by_tag(self):
+        document = make_document()
+        assert len(document.query_selector_all("div")) == 2
+
+    def test_by_class(self):
+        document = make_document()
+        assert {el.element_id for el in document.query_selector_all(".box")} == {"a", "b"}
+
+    def test_compound_tag_class(self):
+        document = make_document()
+        assert [el.element_id for el in document.query_selector_all("div.big")] == ["a"]
+
+    def test_id_with_wrong_tag(self):
+        document = make_document()
+        assert document.query_selector("span#a") is None
+
+    def test_group_selector(self):
+        document = make_document()
+        ids = {el.element_id for el in document.query_selector_all("#a, #d")}
+        assert ids == {"a", "d"}
+
+    def test_miss_returns_none(self):
+        document = make_document()
+        assert document.query_selector("#nothing") is None
+
+    def test_no_duplicates_in_groups(self):
+        document = make_document()
+        assert len(document.query_selector_all("div, .box")) == 2
+
+
+class TestInstrumentation:
+    def test_id_miss_is_racing_read(self):
+        """A timer's querySelector('#late') races with the div's parse,
+        exactly like getElementById (Fig. 3).  (An *inline* script's read
+        would be rule-1b-ordered before the parse — no race, correctly.)"""
+        page = Browser(seed=0).load(
+            """
+            <script>setTimeout("probe = document.querySelector('#late') == null;", 1);</script>
+            <div id="late"></div>
+            """
+        )
+        races = [r for r in page.races if "late" in r.location.describe()]
+        assert races
+
+    def test_inline_read_is_ordered_no_race(self):
+        page = Browser(seed=0).load(
+            """
+            <script>early = document.querySelector('#late') == null;</script>
+            <div id="late"></div>
+            """
+        )
+        assert page.interpreter.global_object.get_own("early") is True
+        races = [r for r in page.races if "late" in r.location.describe()]
+        assert races == []
+
+    def test_query_selector_from_js(self):
+        page = Browser(seed=0).load(
+            """
+            <div id="x" class="hit"></div>
+            <script>
+            byId = document.querySelector('#x').id;
+            n = document.querySelectorAll('.hit').length;
+            missing = document.querySelector('#none') == null;
+            </script>
+            """
+        )
+        g = page.interpreter.global_object
+        assert g.get_own("byId") == "x"
+        assert g.get_own("n") == 1.0
+        assert g.get_own("missing") is True

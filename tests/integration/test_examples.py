@@ -1,0 +1,27 @@
+"""The examples are part of the public deliverable — they must all run."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.stem)
+def test_example_runs_clean(script, capsys, monkeypatch):
+    if script.stem == "audit_fortune100":
+        # The full corpus belongs to the benchmarks; run a slice here.
+        monkeypatch.setattr(sys, "argv", [str(script), "6"])
+    else:
+        monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.stem} produced no output"
+
+
+def test_there_are_at_least_five_examples():
+    assert len(EXAMPLES) >= 5

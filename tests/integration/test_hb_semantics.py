@@ -1,0 +1,280 @@
+"""End-to-end happens-before semantics: the rules as observable orderings.
+
+Rather than poking edges directly, these tests load pages and assert the
+HB *queries* the rules guarantee — including the negative space (what must
+remain concurrent), which is where race detection lives.
+"""
+
+from repro.browser.page import Browser
+from repro.core.operations import CB, CBI, DISPATCH, EXE, PARSE
+
+
+def load(html, resources=None, latencies=None, seed=0, **kwargs):
+    return Browser(seed=seed, resources=resources, latencies=latencies, **kwargs).load(html)
+
+
+def ops_of_kind(page, kind, label_contains=None):
+    return [
+        op
+        for op in page.trace.operations
+        if op.kind == kind
+        and (label_contains is None or label_contains in op.label)
+    ]
+
+
+class TestStaticOrdering:
+    def test_parse_ops_totally_ordered(self):
+        page = load("<div id='a'></div><div id='b'></div><div id='c'></div>")
+        parses = ops_of_kind(page, PARSE)
+        graph = page.monitor.graph
+        for earlier, later in zip(parses, parses[1:]):
+            assert graph.happens_before(earlier.op_id, later.op_id)
+
+    def test_inline_exe_before_later_parse(self):
+        page = load("<script>x = 1;</script><div id='later'></div>")
+        exe = ops_of_kind(page, EXE)[0]
+        later_parse = [op for op in ops_of_kind(page, PARSE) if "later" in op.label][0]
+        assert page.monitor.graph.happens_before(exe.op_id, later_parse.op_id)
+
+    def test_sync_script_exe_before_later_parse(self):
+        page = load(
+            "<script src='s.js'></script><div id='later'></div>",
+            resources={"s.js": "y = 1;"},
+        )
+        exe = ops_of_kind(page, EXE)[0]
+        later_parse = [op for op in ops_of_kind(page, PARSE) if "later" in op.label][0]
+        assert page.monitor.graph.happens_before(exe.op_id, later_parse.op_id)
+
+
+class TestAsyncConcurrency:
+    def test_two_async_scripts_concurrent(self):
+        """Async scripts may run in any order: no HB edge between them."""
+        page = load(
+            "<script src='a.js' async='true'></script>"
+            "<script src='b.js' async='true'></script>",
+            resources={"a.js": "a = 1;", "b.js": "b = 1;"},
+        )
+        exes = ops_of_kind(page, EXE)
+        assert len(exes) == 2
+        assert page.monitor.graph.concurrent(exes[0].op_id, exes[1].op_id)
+
+    def test_async_script_concurrent_with_later_parse(self):
+        page = load(
+            "<script src='a.js' async='true'></script><div id='later'></div>",
+            resources={"a.js": "a = 1;"},
+        )
+        exe = ops_of_kind(page, EXE)[0]
+        later_parse = [op for op in ops_of_kind(page, PARSE) if "later" in op.label][0]
+        graph = page.monitor.graph
+        assert graph.concurrent(exe.op_id, later_parse.op_id)
+
+    def test_sync_scripts_are_ordered_with_each_other(self):
+        page = load(
+            "<script src='a.js'></script><script src='b.js'></script>",
+            resources={"a.js": "a = 1;", "b.js": "b = 1;"},
+        )
+        exes = ops_of_kind(page, EXE)
+        assert page.monitor.graph.happens_before(exes[0].op_id, exes[1].op_id)
+
+
+class TestDeferredOrdering:
+    def test_deferred_exes_ordered_by_syntax(self):
+        page = load(
+            "<script src='d1.js' defer='true'></script>"
+            "<script src='d2.js' defer='true'></script>",
+            resources={"d1.js": "a = 1;", "d2.js": "b = 1;"},
+            latencies={"d1.js": 80.0, "d2.js": 1.0},
+        )
+        exes = ops_of_kind(page, EXE)
+        assert len(exes) == 2
+        assert page.monitor.graph.happens_before(exes[0].op_id, exes[1].op_id)
+
+    def test_all_parses_before_deferred_exe(self):
+        page = load(
+            "<script src='d.js' defer='true'></script><div id='tail'></div>",
+            resources={"d.js": "a = 1;"},
+        )
+        exe = ops_of_kind(page, EXE)[0]
+        graph = page.monitor.graph
+        for parse_op in ops_of_kind(page, PARSE):
+            assert graph.happens_before(parse_op.op_id, exe.op_id)
+
+
+class TestTimerOrdering:
+    def test_caller_before_callback(self):
+        page = load("<script>setTimeout(function() { t = 1; }, 5);</script>")
+        exe = ops_of_kind(page, EXE)[0]
+        cb = ops_of_kind(page, CB)[0]
+        assert page.monitor.graph.happens_before(exe.op_id, cb.op_id)
+
+    def test_two_timeouts_concurrent(self):
+        """Two setTimeout callbacks from the same script have no mutual
+        ordering — the paper adds no edge between sibling timers."""
+        page = load(
+            "<script>setTimeout(function() { a = 1; }, 5);"
+            "setTimeout(function() { b = 1; }, 5);</script>"
+        )
+        cbs = ops_of_kind(page, CB)
+        assert len(cbs) == 2
+        assert page.monitor.graph.concurrent(cbs[0].op_id, cbs[1].op_id)
+
+    def test_interval_firings_chained(self):
+        page = load(
+            "<script>var n = 0; var id = setInterval(function() { n++; "
+            "if (n >= 3) clearInterval(id); }, 5);</script>"
+        )
+        cbis = ops_of_kind(page, CBI)
+        assert len(cbis) == 3
+        graph = page.monitor.graph
+        assert graph.happens_before(cbis[0].op_id, cbis[1].op_id)
+        assert graph.happens_before(cbis[1].op_id, cbis[2].op_id)
+
+    def test_interval_concurrent_with_parsing(self):
+        """The Gomez situation: interval callbacks are unordered with the
+        load events of images fetched in parallel."""
+        page = load(
+            "<script>var id = setInterval(function() { poll = 1; }, 10);"
+            "setTimeout(function() { clearInterval(id); }, 45);</script>"
+            "<img id='im' src='p.png'>",
+            resources={"p.png": "b"},
+            latencies={"p.png": 30.0},
+        )
+        cbis = ops_of_kind(page, CBI)
+        img_load_roots = [
+            op
+            for op in ops_of_kind(page, DISPATCH)
+            if op.meta.get("event") == "load"
+            and op.meta.get("role") == "root"
+            and "im" in str(op.meta.get("target_key"))
+        ]
+        assert cbis and img_load_roots
+        graph = page.monitor.graph
+        assert graph.concurrent(cbis[0].op_id, img_load_roots[0].op_id)
+
+
+class TestLoadEventOrdering:
+    def test_everything_parsed_before_dcl(self):
+        page = load("<div></div><script>x = 1;</script><p></p>")
+        dcl_roots = [
+            op for op in ops_of_kind(page, DISPATCH)
+            if op.meta.get("event") == "DOMContentLoaded"
+        ]
+        graph = page.monitor.graph
+        for parse_op in ops_of_kind(page, PARSE):
+            assert graph.happens_before(parse_op.op_id, dcl_roots[0].op_id)
+
+    def test_dcl_before_window_load(self):
+        page = load("<div></div>")
+        dispatches = ops_of_kind(page, DISPATCH)
+        dcl = [op for op in dispatches if op.meta.get("event") == "DOMContentLoaded"][0]
+        win_load = [
+            op for op in dispatches
+            if op.meta.get("event") == "load" and "window" in op.label
+        ][0]
+        assert page.monitor.graph.happens_before(dcl.op_id, win_load.op_id)
+
+    def test_image_load_before_window_load(self):
+        page = load("<img id='i' src='p.png'>", resources={"p.png": "b"})
+        dispatches = ops_of_kind(page, DISPATCH)
+        img_load = [
+            op for op in dispatches
+            if op.meta.get("event") == "load" and "<img" in op.label
+        ][0]
+        win_load = [
+            op for op in dispatches
+            if op.meta.get("event") == "load" and "window" in op.label
+        ][0]
+        assert page.monitor.graph.happens_before(img_load.op_id, win_load.op_id)
+
+    def test_nested_window_load_before_iframe_load(self):
+        page = load(
+            "<iframe id='f' src='s.html'></iframe>",
+            resources={"s.html": "<div></div>"},
+        )
+        dispatches = ops_of_kind(page, DISPATCH)
+        # Two window loads: nested first, then the iframe element's load,
+        # then the outer window's.
+        win_loads = [
+            op for op in dispatches
+            if op.meta.get("event") == "load" and "window" in op.label
+        ]
+        iframe_load = [
+            op for op in dispatches
+            if op.meta.get("event") == "load" and "iframe" in op.label
+        ][0]
+        graph = page.monitor.graph
+        nested = min(win_loads, key=lambda op: op.op_id)
+        outer = max(win_loads, key=lambda op: op.op_id)
+        assert graph.happens_before(nested.op_id, iframe_load.op_id)
+        assert graph.happens_before(iframe_load.op_id, outer.op_id)
+
+
+class TestUserEventConcurrency:
+    def test_user_event_concurrent_with_parsing(self):
+        """No rule orders user interactions against page load — the paper's
+        central source of races."""
+        browser = Browser(seed=0)
+        page = browser.open(
+            "<a id='l' href='javascript:clicked = 1;'>x</a>"
+            "<div id='a'></div><div id='b'></div><div id='tail'></div>"
+        )
+        page.eager_explore = True
+        page.run()
+        dispatches = [
+            op for op in page.trace.operations
+            if op.kind == DISPATCH and op.meta.get("event") == "click"
+        ]
+        tail_parse = [
+            op for op in page.trace.operations
+            if op.kind == PARSE and "tail" in op.label
+        ][0]
+        graph = page.monitor.graph
+        assert dispatches
+        assert any(
+            graph.concurrent(dispatch.op_id, tail_parse.op_id)
+            for dispatch in dispatches
+        )
+
+
+class TestXhrOrdering:
+    def test_send_before_readystatechange(self):
+        page = load(
+            """
+            <script>
+            var xr = new XMLHttpRequest();
+            xr.open('GET', 'data.json');
+            xr.onreadystatechange = function() { got = xr.responseText; };
+            xr.send();
+            </script>
+            """,
+            resources={"data.json": "payload"},
+        )
+        assert page.interpreter.global_object.get_own("got") == "payload"
+        assert page.monitor.graph.edges_by_rule("10:send-before-readystatechange")
+
+    def test_two_ajax_handlers_concurrent(self):
+        """Separate AJAX completions stay unordered — WebRacer subsumes the
+        Zheng et al. AJAX race class (Section 8)."""
+        page = load(
+            """
+            <script>
+            function go(url) {
+              var xr = new XMLHttpRequest();
+              xr.open('GET', url);
+              xr.onreadystatechange = function() { last = url; };
+              xr.send();
+            }
+            go('a.json');
+            go('b.json');
+            </script>
+            """,
+            resources={"a.json": "1", "b.json": "2"},
+        )
+        handlers = [
+            op for op in page.trace.operations
+            if op.kind == DISPATCH
+            and op.meta.get("event") == "readystatechange"
+            and op.meta.get("role") == "handler"
+        ]
+        assert len(handlers) == 2
+        assert page.monitor.graph.concurrent(handlers[0].op_id, handlers[1].op_id)

@@ -1,0 +1,153 @@
+"""Property-based testing of the whole pipeline on generated pages.
+
+Hypothesis composes random small pages from the building blocks real pages
+use (static content, inline/async scripts, timers, images, form fields)
+and checks the system-level invariants that must hold for *any* page:
+
+* the event loop terminates and the window load event fires;
+* every reported race is CHC-unordered in the happens-before relation and
+  involves a write;
+* the detector agrees with an offline replay of the serialized trace;
+* the same configuration is perfectly deterministic.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.browser.page import Browser
+from repro.core.serialize import dumps_trace, loads_trace
+
+# ----------------------------------------------------------------------
+# page building blocks
+
+
+def _div(index):
+    return f"<div id='z{index}'></div>"
+
+
+def _inline_write(index):
+    return f"<script>shared{index % 3} = {index};</script>"
+
+
+def _inline_read(index):
+    return (
+        f"<script>r{index} = (typeof shared{index % 3} == 'undefined')"
+        f" ? -1 : shared{index % 3};</script>"
+    )
+
+
+def _timer_write(index):
+    return f"<script>setTimeout('shared{index % 3} = {index + 100};', {index % 7});</script>"
+
+
+def _async_write(index):
+    # Resource added by the composite strategy.
+    return f"<script src='fuzz{index}.js' async='true'></script>"
+
+
+def _image(index):
+    return f"<img src='img{index}.png'>"
+
+
+def _input(index):
+    return f"<input type='text' id='field{index}'>"
+
+
+def _lookup(index):
+    return (
+        f"<script>found{index} = document.getElementById('z{index}') != null;</script>"
+    )
+
+
+_BLOCKS = [
+    _div,
+    _inline_write,
+    _inline_read,
+    _timer_write,
+    _async_write,
+    _image,
+    _input,
+    _lookup,
+]
+
+block_indices = st.lists(
+    st.tuples(st.integers(0, len(_BLOCKS) - 1), st.integers(0, 9)),
+    min_size=1,
+    max_size=10,
+)
+
+
+def build_page(blocks):
+    parts = []
+    resources = {}
+    for block_kind, index in blocks:
+        builder = _BLOCKS[block_kind]
+        parts.append(builder(index))
+        if builder is _async_write:
+            resources[f"fuzz{index}.js"] = f"shared{index % 3} = {index + 50};"
+        elif builder is _image:
+            resources[f"img{index}.png"] = "bin"
+    return "\n".join(parts), resources
+
+
+def run_page(blocks, seed=0, explore=False):
+    html, resources = build_page(blocks)
+    browser = Browser(seed=seed, resources=resources)
+    page = browser.open(html)
+    page.auto_explore = explore
+    page.run()
+    return page
+
+
+@given(block_indices, st.integers(0, 5))
+@settings(max_examples=60, deadline=None)
+def test_every_generated_page_settles_and_loads(blocks, seed):
+    page = run_page(blocks, seed=seed)
+    assert page.loaded(), "window load must fire on every generated page"
+    assert page.loop.pending() == 0
+
+
+@given(block_indices, st.integers(0, 5))
+@settings(max_examples=60, deadline=None)
+def test_all_reported_races_are_sound(blocks, seed):
+    page = run_page(blocks, seed=seed)
+    graph = page.monitor.graph
+    for race in page.races:
+        assert race.prior.is_write or race.current.is_write
+        assert race.prior.op_id != race.current.op_id
+        assert graph.concurrent(race.prior.op_id, race.current.op_id), race
+
+
+@given(block_indices)
+@settings(max_examples=40, deadline=None)
+def test_offline_replay_matches_online(blocks):
+    page = run_page(blocks, seed=3)
+    loaded = loads_trace(dumps_trace(page.trace, page.monitor.graph))
+    offline = loaded.detect()
+    assert {race.location for race in offline.races} == {
+        race.location for race in page.races
+    }
+
+
+@given(block_indices, st.integers(0, 3))
+@settings(max_examples=30, deadline=None)
+def test_same_configuration_is_deterministic(blocks, seed):
+    def signature():
+        page = run_page(blocks, seed=seed, explore=True)
+        return (
+            len(page.trace.accesses),
+            len(page.trace.operations),
+            sorted(
+                (race.prior.op_id, race.current.op_id) for race in page.races
+            ),
+            page.clock.now,
+        )
+
+    assert signature() == signature()
+
+
+@given(block_indices)
+@settings(max_examples=40, deadline=None)
+def test_hb_graph_edges_are_forward_and_acyclic(blocks):
+    page = run_page(blocks, seed=1)
+    for edge in page.monitor.graph.edges:
+        assert edge.src < edge.dst, "HB edges must follow creation order"

@@ -1,0 +1,76 @@
+"""Paper footnote 14: "races reported across different runs for the same
+site had little variance" — plus facade edge cases."""
+
+import pytest
+
+from repro import WebRacer
+from repro.sites import SiteSpec, build_site
+
+
+class TestRunVariance:
+    @pytest.fixture(scope="class")
+    def site(self):
+        return build_site(
+            SiteSpec(name="VarianceSite")
+            .add("valero_email_link")
+            .add("southwest_form_hint")
+            .add("gomez_monitoring", images=4)
+            .add("function_race_guarded")
+            .add("async_global_noise", globals_count=6)
+            .add("static_noise")
+        )
+
+    def test_filtered_counts_identical_across_seeds(self, site):
+        """Filtered (per-location) races are seed-invariant — HB detection
+        does not depend on which interleaving was observed."""
+        counts = set()
+        for seed in (0, 7, 21, 42):
+            report = WebRacer(seed=seed).check_site(site)
+            counts.add(tuple(sorted(report.filtered_counts().items())))
+        assert len(counts) == 1
+
+    def test_harmful_counts_identical_across_seeds(self, site):
+        counts = set()
+        for seed in (0, 7, 21, 42):
+            report = WebRacer(seed=seed).check_site(site)
+            counts.add(tuple(sorted(report.harmful_counts().items())))
+        assert len(counts) == 1
+
+    def test_raw_counts_low_variance(self, site):
+        """Raw counts may wiggle slightly with the schedule (dedup keeps at
+        most one race per location and some locations only materialize on
+        some paths), but the variance must stay small."""
+        totals = []
+        for seed in (0, 7, 21, 42, 63):
+            report = WebRacer(seed=seed).check_site(site)
+            totals.append(sum(report.raw_counts().values()))
+        spread = max(totals) - min(totals)
+        assert spread <= max(2, max(totals) // 5), totals
+
+
+class TestFacadeEdgeCases:
+    def test_max_run_ms_stops_early(self):
+        racer = WebRacer(seed=0, max_run_ms=1.0, explore=False, eager=False)
+        report = racer.check_page(
+            "<script>setTimeout('late = 1;', 5000);</script>"
+        )
+        assert not report.page.interpreter.global_object.has_own("late")
+
+    def test_report_for_reuses_finished_page(self):
+        racer = WebRacer(seed=0)
+        first = racer.check_page("<input type='text' id='f'>"
+                                 "<script src='h.js'></script>",
+                                 resources={"h.js": "document.getElementById('f').value = 'x';"})
+        again = racer.report_for(first.page, url="again")
+        assert again.url == "again"
+        assert len(again.raw_races) == len(first.raw_races)
+
+    def test_empty_page(self):
+        report = WebRacer(seed=0).check_page("")
+        assert report.page.loaded()
+        assert report.raw_races == []
+
+    def test_check_site_seed_override(self):
+        site = build_site(SiteSpec(name="S").add("static_noise"))
+        report = WebRacer(seed=0).check_site(site, seed=99)
+        assert report.raw_races == []

@@ -1,0 +1,109 @@
+"""Tests for the timer-slot race extension (paper Section 7 gap).
+
+The paper: "we have not instrumented calls to clearTimeout and
+clearInterval, which may race with the execution of handlers installed via
+setTimeout and setInterval."  This reproduction instruments them; these
+tests pin both the positive case (an unordered clear races with the
+firing) and the negative cases (ordered creation/clear patterns stay
+silent, so the paper's calibrated numbers are untouched).
+"""
+
+from repro.browser.page import Browser
+from repro.core.locations import TimerSlotLocation
+
+
+def load(html, **kwargs):
+    return Browser(seed=0, **kwargs).load(html)
+
+
+def timer_races(page):
+    return [
+        race
+        for race in page.races
+        if isinstance(race.location, TimerSlotLocation)
+    ]
+
+
+class TestClearRaces:
+    def test_async_clear_races_with_firing(self):
+        """An async script clears a timer set by the main page: the clear
+        and the callback's firing are HB-unordered."""
+        page = load(
+            """
+            <script>
+            pending = setTimeout('fired = 1;', 30);
+            </script>
+            <script src='cancel.js' async='true'></script>
+            """,
+            resources={"cancel.js": "clearTimeout(pending);"},
+        )
+        races = timer_races(page)
+        assert races, "clear vs fire must race"
+        clear_writes = [
+            access
+            for access in (races[0].prior, races[0].current)
+            if access.detail.get("clearing")
+        ]
+        # One side of at least one reported race is the clearing write.
+        assert any(
+            access.detail.get("clearing")
+            for race in races
+            for access in (race.prior, race.current)
+        )
+
+    def test_clear_from_event_handler_races(self):
+        page = load(
+            """
+            <div id='stop' onclick='clearInterval(pollId);'></div>
+            <script>
+            pollId = setInterval('ticks = (typeof ticks == "undefined") ? 1 : ticks + 1;', 10);
+            setTimeout('clearInterval(pollId);', 100);
+            document.getElementById('stop').click();
+            </script>
+            """
+        )
+        assert timer_races(page)
+
+
+class TestOrderedPatternsSilent:
+    def test_creation_then_fire_never_races(self):
+        """Rule 16 orders creation before firing — no timer race."""
+        page = load("<script>setTimeout('x = 1;', 5);</script>")
+        assert timer_races(page) == []
+
+    def test_self_clearing_interval_never_races(self):
+        """The common poll-until-done idiom clears from inside its own
+        callback: same/ordered operations, no race (the Ford pattern)."""
+        page = load(
+            "<script>var n = 0; var id = setInterval(function() {"
+            "n++; if (n >= 3) clearInterval(id); }, 5);</script>"
+        )
+        assert timer_races(page) == []
+
+    def test_clear_before_schedule_completion_same_op(self):
+        page = load(
+            "<script>var id = setTimeout('x = 1;', 50); clearTimeout(id);</script>"
+        )
+        assert timer_races(page) == []
+
+    def test_timer_races_filtered_from_form_report(self):
+        """Timer-slot races classify as variable races and are removed by
+        the form filter — Table 2 stays calibrated."""
+        from repro import WebRacer
+
+        racer = WebRacer(seed=0, explore=False, eager=False)
+        report = racer.check_page(
+            """
+            <script>pending = setTimeout('fired = 1;', 30);</script>
+            <script src='cancel.js' async='true'></script>
+            """,
+            resources={"cancel.js": "clearTimeout(pending);"},
+        )
+        assert any(
+            isinstance(race.location, TimerSlotLocation)
+            for race in report.raw_races
+        )
+        assert not any(
+            isinstance(classified.race.location, TimerSlotLocation)
+            for classified in report.classified.races
+        )

@@ -1,0 +1,162 @@
+"""Tests for the interpreter's instrumentation hooks.
+
+These verify that the engine reports exactly the shared-memory accesses the
+paper's JSVar model needs (Section 4.1): global reads/writes as properties
+of the global object, closure-cell accesses, object property accesses,
+call-target lookups flagged ``is_call``, and hoisted function declarations
+flagged ``is_function_decl``.
+"""
+
+from repro.js.builtins import install_builtins
+from repro.js.interpreter import AccessHooks, Interpreter
+from repro.js.parser import parse
+
+
+class RecordingHooks(AccessHooks):
+    def __init__(self):
+        self.events = []
+
+    def var_read(self, cell_id, name, is_call=False):
+        self.events.append(("var_read", name, is_call))
+
+    def var_write(self, cell_id, name, is_function_decl=False, writes_function=False):
+        self.events.append(("var_write", name, is_function_decl, writes_function))
+
+    def prop_read(self, object_id, name, is_call=False):
+        self.events.append(("prop_read", name, is_call))
+
+    def prop_write(self, object_id, name, is_function_decl=False, writes_function=False):
+        self.events.append(("prop_write", name, is_function_decl, writes_function))
+
+
+def run(source):
+    hooks = RecordingHooks()
+    interp = Interpreter(hooks=hooks)
+    install_builtins(interp)
+    interp.run(parse(source))
+    return hooks.events
+
+
+class TestGlobalAccesses:
+    def test_global_write_is_prop_write(self):
+        events = run("x = 1;")
+        assert ("prop_write", "x", False, False) in events
+
+    def test_global_read_is_prop_read(self):
+        events = run("x = 1; var y = x;")
+        assert ("prop_read", "x", False) in events
+
+    def test_builtin_reads_not_instrumented(self):
+        events = run("var a = Math.floor(1.5);")
+        names = [event[1] for event in events if event[0] == "prop_read"]
+        assert "Math" not in names
+
+    def test_var_declared_global_still_prop(self):
+        events = run("var g = 2; g;")
+        assert ("prop_write", "g", False, False) in events
+        assert ("prop_read", "g", False) in events
+
+
+class TestLocalAndClosureAccesses:
+    def test_local_write_and_read(self):
+        events = run("function f() { var a = 1; return a; } f();")
+        assert ("var_write", "a", False, False) in events
+        assert ("var_read", "a", False) in events
+
+    def test_closure_cell_shared(self):
+        hooks = RecordingHooks()
+        interp = Interpreter(hooks=hooks)
+        install_builtins(interp)
+
+        class CellTracker(RecordingHooks):
+            pass
+
+        tracker = {"ids": set()}
+
+        class IdHooks(AccessHooks):
+            def var_read(self, cell_id, name, is_call=False):
+                if name == "n":
+                    tracker["ids"].add(cell_id)
+
+            def var_write(self, cell_id, name, **kwargs):
+                if name == "n":
+                    tracker["ids"].add(cell_id)
+
+        interp2 = Interpreter(hooks=IdHooks())
+        install_builtins(interp2)
+        interp2.run(
+            parse(
+                """
+                function mk() { var n = 0; return function() { n++; return n; }; }
+                var c = mk(); c(); c();
+                """
+            )
+        )
+        # All accesses to `n` hit the same cell — the same JSVar location.
+        assert len(tracker["ids"]) == 1
+
+
+class TestCallFlags:
+    def test_call_lookup_flagged(self):
+        events = run("function f() {} f();")
+        call_reads = [event for event in events if event[0] == "prop_read" and event[2]]
+        assert ("prop_read", "f", True) in call_reads
+
+    def test_plain_read_not_flagged(self):
+        events = run("function f() {} var g = f;")
+        assert ("prop_read", "f", False) in events
+
+    def test_failed_call_lookup_still_reported(self):
+        # A function race reads the (future) global even when the call
+        # crashes — the read must be observable (Section 2.4).
+        from repro.js.errors import JSThrow
+        import pytest
+
+        hooks = RecordingHooks()
+        interp = Interpreter(hooks=hooks)
+        install_builtins(interp)
+        with pytest.raises(JSThrow):
+            interp.run(parse("neverDefined();"))
+        assert ("prop_read", "neverDefined", True) in hooks.events
+
+
+class TestFunctionDeclarations:
+    def test_hoisted_declaration_is_function_decl_write(self):
+        events = run("function top() {}")
+        assert ("prop_write", "top", True, True) in events
+
+    def test_nested_declaration_is_var_write(self):
+        events = run("function outer() { function inner() {} } outer();")
+        assert ("var_write", "inner", True, True) in events
+
+    def test_function_expression_assignment_flags_writes_function(self):
+        events = run("handler = function() {};")
+        assert ("prop_write", "handler", False, True) in events
+
+
+class TestObjectPropertyAccesses:
+    def test_object_property_write_and_read(self):
+        events = run("var o = {}; o.field = 3; o.field;")
+        assert ("prop_write", "field", False, False) in events
+        assert ("prop_read", "field", False) in events
+
+    def test_array_element_accesses(self):
+        events = run("var a = []; a[0] = 'x'; a[0];")
+        assert ("prop_write", "0", False, False) in events
+        assert ("prop_read", "0", False) in events
+
+    def test_array_push_instruments_element_write(self):
+        events = run("var a = []; a.push(1);")
+        assert ("prop_write", "0", False, False) in events
+
+    def test_delete_is_a_write(self):
+        # Object-literal initialization is not instrumented (the object is
+        # freshly allocated, unshared); the delete is the only write.
+        events = run("var o = {k: 1}; delete o.k;")
+        writes = [event for event in events if event[0] == "prop_write" and event[1] == "k"]
+        assert len(writes) == 1
+
+    def test_assignment_after_literal_is_write(self):
+        events = run("var o = {}; o.k = 1; delete o.k;")
+        writes = [event for event in events if event[0] == "prop_write" and event[1] == "k"]
+        assert len(writes) == 2

@@ -1,0 +1,143 @@
+"""Tests for JS runtime values."""
+
+from repro.js.values import (
+    NULL,
+    UNDEFINED,
+    Cell,
+    JSArray,
+    JSFunction,
+    JSObject,
+    NativeFunction,
+    is_callable,
+    next_cell_id,
+    next_object_id,
+)
+
+
+class TestSingletons:
+    def test_undefined_is_singleton(self):
+        from repro.js.values import _Undefined
+
+        assert _Undefined() is UNDEFINED
+
+    def test_null_is_singleton(self):
+        from repro.js.values import _Null
+
+        assert _Null() is NULL
+
+    def test_falsiness(self):
+        assert not UNDEFINED
+        assert not NULL
+
+    def test_distinct(self):
+        assert UNDEFINED is not NULL
+
+
+class TestJSObject:
+    def test_unique_ids(self):
+        assert JSObject().object_id != JSObject().object_id
+
+    def test_get_own_missing_is_undefined(self):
+        assert JSObject().get_own("nope") is UNDEFINED
+
+    def test_set_and_lookup(self):
+        obj = JSObject()
+        obj.set_own("a", 1.0)
+        assert obj.lookup("a") == 1.0
+        assert obj.has("a")
+        assert obj.has_own("a")
+
+    def test_prototype_chain_lookup(self):
+        proto = JSObject()
+        proto.set_own("inherited", "yes")
+        obj = JSObject(prototype=proto)
+        assert obj.lookup("inherited") == "yes"
+        assert not obj.has_own("inherited")
+        assert obj.has("inherited")
+
+    def test_write_lands_on_receiver(self):
+        proto = JSObject()
+        proto.set_own("v", 1.0)
+        obj = JSObject(prototype=proto)
+        obj.set_own("v", 2.0)
+        assert proto.get_own("v") == 1.0
+        assert obj.get_own("v") == 2.0
+
+    def test_delete(self):
+        obj = JSObject()
+        obj.set_own("a", 1.0)
+        assert obj.delete("a")
+        assert not obj.delete("a")
+        assert obj.get_own("a") is UNDEFINED
+
+    def test_own_keys_ordered(self):
+        obj = JSObject()
+        for key in ("z", "a", "m"):
+            obj.set_own(key, 0.0)
+        assert obj.own_keys() == ["z", "a", "m"]
+
+
+class TestJSArray:
+    def test_push_grows_length(self):
+        array = JSArray()
+        assert array.length == 0
+        array.push("a")
+        array.push("b")
+        assert array.length == 2
+        assert array.to_list() == ["a", "b"]
+
+    def test_pop_shrinks(self):
+        array = JSArray([1.0, 2.0])
+        assert array.pop() == 2.0
+        assert array.length == 1
+
+    def test_pop_empty_is_undefined(self):
+        assert JSArray().pop() is UNDEFINED
+
+    def test_element_updated_extends_length(self):
+        array = JSArray()
+        array.set_own("4", "x")
+        array.element_updated("4")
+        assert array.length == 5
+
+    def test_set_length_truncates(self):
+        array = JSArray([1.0, 2.0, 3.0])
+        array.set_length(1)
+        assert array.to_list() == [1.0]
+        assert array.get_own("1") is UNDEFINED
+
+    def test_holes_are_undefined(self):
+        array = JSArray()
+        array.set_own("2", "x")
+        array.element_updated("2")
+        assert array.to_list() == [UNDEFINED, UNDEFINED, "x"]
+
+
+class TestCallables:
+    def test_is_callable(self):
+        assert is_callable(NativeFunction("f", lambda i, t, a: None))
+        assert is_callable(JSFunction("g", [], [], None))
+        assert not is_callable(JSObject())
+        assert not is_callable("string")
+        assert not is_callable(UNDEFINED)
+
+    def test_function_repr_includes_name(self):
+        assert "g" in repr(JSFunction("g", [], [], None))
+
+
+class TestCells:
+    def test_cells_have_unique_ids(self):
+        assert Cell("x").cell_id != Cell("x").cell_id
+
+    def test_cell_holds_value(self):
+        cell = Cell("x", 5.0)
+        assert cell.value == 5.0
+        cell.value = 6.0
+        assert cell.value == 6.0
+
+    def test_default_value_is_undefined(self):
+        assert Cell("y").value is UNDEFINED
+
+    def test_id_allocators_monotone(self):
+        assert next_object_id() < next_object_id()
+        assert next_cell_id() < next_cell_id()

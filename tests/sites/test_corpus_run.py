@@ -1,0 +1,82 @@
+"""End-to-end verification that WebRacer recovers the seeded ground truth
+on a representative slice of the corpus (the full 100-site run lives in
+the Table 1/2 benchmarks)."""
+
+import pytest
+
+from repro import WebRacer
+from repro.core.report import RACE_TYPES
+from repro.sites import build_corpus
+
+#: A slice covering every pattern family: polling-heavy (AmEx), pure
+#: function (BestBuy), mixed (Citigroup), gomez (Humana), form (IBM),
+#: and clean (ExxonMobil is site #41).
+SLICE = slice(0, 12)
+
+
+@pytest.fixture(scope="module")
+def slice_reports():
+    sites = build_corpus(master_seed=0)[SLICE]
+    racer = WebRacer(seed=0)
+    reports = [
+        racer.check_site(site, seed=index * 101) for index, site in enumerate(sites)
+    ]
+    return list(zip(sites, reports))
+
+
+def test_every_site_in_slice_matches_ground_truth(slice_reports):
+    for site, report in slice_reports:
+        got = {
+            race_type: (
+                report.filtered_counts()[race_type],
+                report.harmful_counts()[race_type],
+            )
+            for race_type in RACE_TYPES
+        }
+        expected = {
+            race_type: site.expected.get(race_type, (0, 0))
+            for race_type in RACE_TYPES
+        }
+        assert got == expected, f"{site.name}: {got} != {expected}"
+
+
+def test_raw_counts_at_least_seeded_minimum(slice_reports):
+    for site, report in slice_reports:
+        raw = report.raw_counts()
+        for race_type, minimum in site.raw_min.items():
+            assert raw[race_type] >= minimum, (site.name, race_type)
+
+
+def test_pages_all_settle(slice_reports):
+    for site, report in slice_reports:
+        assert report.page.loaded(), f"{site.name} never fired window load"
+
+
+def test_hidden_crashes_only_on_harmful_sites(slice_reports):
+    """Crashes imply the site had a harmful html/function race seeded (the
+    benign patterns never crash)."""
+    for site, report in slice_reports:
+        seeded_harmful = site.expected.get("html", (0, 0))[1] + site.expected.get(
+            "function", (0, 0)
+        )[1]
+        crash_kinds = {crash.kind for crash in report.trace.crashes}
+        fatal = crash_kinds & {"TypeError", "ReferenceError"}
+        if seeded_harmful == 0:
+            assert not fatal, f"{site.name} crashed unexpectedly: {crash_kinds}"
+        else:
+            assert fatal, f"{site.name} seeded harmful races but never crashed"
+
+
+def test_determinism_of_site_reports():
+    sites = build_corpus(master_seed=0)[:3]
+    racer = WebRacer(seed=0)
+
+    def run_all():
+        return [
+            (
+                tuple(sorted(racer.check_site(site, seed=7).filtered_counts().items())),
+            )
+            for site in sites
+        ]
+
+    assert run_all() == run_all()

@@ -1,0 +1,108 @@
+"""Tests for the race-pattern library: each pattern produces exactly the
+filtered races (and harmfulness) it advertises."""
+
+import pytest
+
+from repro import WebRacer
+from repro.core.report import RACE_TYPES
+from repro.sites.generator import SiteSpec, build_site
+from repro.sites.patterns import PATTERNS
+
+
+def measure(pattern_name, seed=5, **kwargs):
+    spec = SiteSpec(name=f"unit-{pattern_name}").add(pattern_name, **kwargs)
+    site = build_site(spec)
+    report = WebRacer(seed=seed).check_site(site)
+    got = {
+        race_type: (
+            report.filtered_counts()[race_type],
+            report.harmful_counts()[race_type],
+        )
+        for race_type in RACE_TYPES
+    }
+    expected = {race_type: site.expected.get(race_type, (0, 0)) for race_type in RACE_TYPES}
+    return got, expected, report, site
+
+
+@pytest.mark.parametrize(
+    "pattern_name,kwargs",
+    [
+        ("southwest_form_hint", {}),
+        ("two_script_form_hint", {}),
+        ("guarded_form_hint", {}),
+        ("valero_email_link", {}),
+        ("ford_polling", {"nodes": 4}),
+        ("ford_polling", {"nodes": 0}),
+        ("function_race_unguarded", {}),
+        ("function_race_guarded", {}),
+        ("gomez_monitoring", {"images": 3}),
+        ("late_onload_attach", {}),
+        ("delayed_onload_attach", {}),
+        ("delayed_widget_script", {"widgets": 3}),
+        ("iframe_variable_race", {}),
+        ("async_global_noise", {"globals_count": 4}),
+        ("ajax_global_write", {}),
+        ("cookie_race", {}),
+        ("static_noise", {}),
+    ],
+)
+def test_pattern_meets_expectation(pattern_name, kwargs):
+    got, expected, _report, _site = measure(pattern_name, **kwargs)
+    assert got == expected
+
+
+@pytest.mark.parametrize("seed", [1, 5, 11, 23])
+def test_key_patterns_stable_across_seeds(seed):
+    for pattern_name in (
+        "southwest_form_hint",
+        "valero_email_link",
+        "gomez_monitoring",
+        "function_race_unguarded",
+    ):
+        got, expected, _report, _site = measure(pattern_name, seed=seed)
+        assert got == expected, f"{pattern_name} unstable at seed {seed}"
+
+
+class TestRawContributions:
+    def test_noise_patterns_contribute_raw_races(self):
+        for pattern_name, kwargs, race_type in [
+            ("async_global_noise", {"globals_count": 6}, "variable"),
+            ("delayed_widget_script", {"widgets": 4}, "event_dispatch"),
+            ("iframe_variable_race", {}, "variable"),
+            ("ajax_global_write", {}, "variable"),
+        ]:
+            _got, _expected, report, site = measure(pattern_name, **kwargs)
+            assert report.raw_counts()[race_type] >= site.raw_min[race_type]
+            # ... and the filters remove all of them.
+            assert report.filtered_counts()[race_type] == 0
+
+    def test_ford_races_are_all_benign(self):
+        _got, _expected, report, _site = measure("ford_polling", nodes=6)
+        html_races = report.classified.by_type("html")
+        assert len(html_races) == 7
+        assert not any(race.harmful for race in html_races)
+
+    def test_gomez_races_all_harmful(self):
+        _got, _expected, report, _site = measure("gomez_monitoring", images=4)
+        dispatch_races = report.classified.by_type("event_dispatch")
+        assert len(dispatch_races) == 4
+        assert all(race.harmful for race in dispatch_races)
+
+    def test_static_noise_is_race_free(self):
+        _got, _expected, report, _site = measure("static_noise", blocks=4)
+        assert report.raw_races == []
+
+
+class TestRegistry:
+    def test_all_patterns_registered(self):
+        assert len(PATTERNS) >= 15
+
+    def test_patterns_take_uid_first(self):
+        for name, builder in PATTERNS.items():
+            fragment = builder("uidtest")
+            assert fragment.html, f"{name} produced empty html"
+
+    def test_uids_namespace_resources(self):
+        first = PATTERNS["southwest_form_hint"]("a1")
+        second = PATTERNS["southwest_form_hint"]("a2")
+        assert not set(first.resources) & set(second.resources)
