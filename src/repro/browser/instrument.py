@@ -24,7 +24,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from ..core.access import READ, WRITE, Access
 from ..core.detector import RaceDetector
 from ..core.full_detector import FullHistoryDetector
-from ..core.hb.graph import HBGraph
+from ..core.hb.backend import make_backend
 from ..core.hb.rules import RuleEngine
 from ..core.locations import (
     ATTR_SLOT,
@@ -53,10 +53,12 @@ class Monitor:
         enabled: bool = True,
         full_history: bool = False,
         report_all_per_location: bool = False,
+        hb_backend: str = "graph",
     ):
         self.enabled = enabled
         self.trace = Trace()
-        self.graph = HBGraph()
+        self.hb_backend = hb_backend
+        self.graph = make_backend(hb_backend)
         self.rules = RuleEngine(self.graph)
         self.detector = RaceDetector(
             self.graph, report_all_per_location=report_all_per_location

@@ -73,6 +73,7 @@ class Browser:
         full_history: bool = False,
         report_all_per_location: bool = False,
         tie_window: Optional[float] = None,
+        hb_backend: str = "graph",
     ):
         self.seed = seed
         self.clock = VirtualClock()
@@ -96,6 +97,7 @@ class Browser:
             enabled=instrument,
             full_history=full_history,
             report_all_per_location=report_all_per_location,
+            hb_backend=hb_backend,
         )
 
     def open(self, html: str, url: str = "page.html") -> "Page":

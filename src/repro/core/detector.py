@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from .access import Access
-from .hb.graph import HBGraph
+from .hb.backend import HBBackend
 from .locations import Location
 
 READ_WRITE = "read-write"
@@ -57,7 +57,7 @@ class Race:
 class RaceDetector:
     """The constant-memory LastRead/LastWrite detector."""
 
-    def __init__(self, hb: HBGraph, report_all_per_location: bool = False):
+    def __init__(self, hb: HBBackend, report_all_per_location: bool = False):
         self.hb = hb
         self.report_all_per_location = report_all_per_location
         self.last_read: Dict[Location, Access] = {}

@@ -63,31 +63,20 @@ def form_race_filter(race: Race, race_type: str, trace: Trace) -> bool:
 
 
 def _read_preceded_write(write: Access, trace: Trace) -> bool:
-    """Did ``write``'s operation read the same location before writing?"""
+    """Did ``write``'s operation read the same location before writing?
+
+    Answered from the trace's per-``(op_id, location)`` access index by
+    ``seq`` comparison — O(1) per race instead of a full trace rescan, and
+    immune to traces whose seqs are not contiguous list indices.
+    """
     if write.detail.get("read_before_write"):
         return True
-    for access in trace.accesses:
-        if access.seq >= write.seq:
-            return False
-        if (
-            access.op_id == write.op_id
-            and access.is_read
-            and access.location == write.location
-        ):
-            return True
-    return False
+    return trace.access_index().read_before(write.op_id, write.location, write.seq)
 
 
 def _write_follows_read(read: Access, trace: Trace) -> bool:
     """Does ``read``'s operation write the same location later on?"""
-    for access in trace.accesses[read.seq + 1 :]:
-        if (
-            access.op_id == read.op_id
-            and access.is_write
-            and access.location == read.location
-        ):
-            return True
-    return False
+    return trace.access_index().write_after(read.op_id, read.location, read.seq)
 
 
 def single_dispatch_filter(race: Race, race_type: str, trace: Trace) -> bool:
@@ -113,6 +102,10 @@ class FilterChain:
     def apply(self, races: List[Race], trace: Trace) -> List[Race]:
         """Run every filter over ``races``; returns the survivors."""
         self.removed = {}
+        # Build the access index once up front; the per-race helpers then
+        # answer from it in O(1) (quadratic rescans otherwise dominate on
+        # race-heavy pages).
+        trace.access_index()
         kept: List[Race] = []
         for race in races:
             race_type = classify_race(race)

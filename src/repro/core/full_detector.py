@@ -19,14 +19,14 @@ from typing import Dict, List, Set, Tuple
 
 from .access import Access
 from .detector import READ_WRITE, WRITE_WRITE, Race
-from .hb.graph import HBGraph
+from .hb.backend import HBBackend
 from .locations import Location
 
 
 class FullHistoryDetector:
     """Race detector that remembers every access per location."""
 
-    def __init__(self, hb: HBGraph, dedup_per_location: bool = False):
+    def __init__(self, hb: HBBackend, dedup_per_location: bool = False):
         self.hb = hb
         self.dedup_per_location = dedup_per_location
         self.history: Dict[Location, List[Access]] = {}

@@ -1,15 +1,31 @@
 """Happens-before machinery: graph, the paper's rules, vector clocks."""
 
+from .backend import (
+    HB_BACKENDS,
+    BackendDisagreement,
+    ChainBackedGraph,
+    CrosscheckGraph,
+    HBBackend,
+    make_backend,
+)
+from .chains import IncrementalChainClocks
 from .graph import Edge, HBGraph, chc, transitive_closure_pairs
 from .rules import ALL_RULES, RuleEngine
 from .vector_clock import ChainVectorClocks
 
 __all__ = [
     "ALL_RULES",
+    "BackendDisagreement",
+    "ChainBackedGraph",
     "ChainVectorClocks",
+    "CrosscheckGraph",
     "Edge",
+    "HBBackend",
     "HBGraph",
+    "HB_BACKENDS",
+    "IncrementalChainClocks",
     "RuleEngine",
     "chc",
+    "make_backend",
     "transitive_closure_pairs",
 ]

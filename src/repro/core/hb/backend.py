@@ -1,0 +1,140 @@
+"""Pluggable happens-before backends for the online detection hot path.
+
+The monitor needs two things from its happens-before store: the *graph
+structure* (labeled edges for serialization, rule audits, and reports) and
+*CHC answers* (one ``concurrent`` query per memory access — the hottest
+path in the system).  :class:`~repro.core.hb.graph.HBGraph` provides both,
+answering queries from frozen-prefix ancestor sets at O(V) per operation
+and O(V²) worst-case memory.  The backends here keep the graph structure
+identical and swap the query engine:
+
+* ``"graph"`` — plain :class:`HBGraph` (the paper's representation);
+* ``"chains"`` — :class:`ChainBackedGraph`: structure in the graph, CHC
+  answers from :class:`~repro.core.hb.chains.IncrementalChainClocks`
+  (O(C) amortized per operation, C = chain count);
+* ``"crosscheck"`` — :class:`CrosscheckGraph`: runs both engines on every
+  query and raises :class:`BackendDisagreement` on any mismatch.  Slow;
+  exists to validate the fast path against the reference one.
+
+Every backend exposes the :class:`HBBackend` interface, so detectors and
+experiment code never care which one is live.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, runtime_checkable
+
+from .chains import IncrementalChainClocks
+from .graph import HBGraph
+
+HB_BACKENDS = ("graph", "chains", "crosscheck")
+
+
+@runtime_checkable
+class HBBackend(Protocol):
+    """What detectors and experiments require of a happens-before store."""
+
+    def add_operation(self, op_id: int) -> None: ...
+
+    def add_edge(self, src: int, dst: int, rule: str = "") -> bool: ...
+
+    def happens_before(self, a: int, b: int) -> bool: ...
+
+    def concurrent(self, a: int, b: int) -> bool: ...
+
+    def chc(self, a: int, b: int) -> bool: ...
+
+    def memory_cells(self) -> int: ...
+
+
+class BackendDisagreement(AssertionError):
+    """The graph and chain backends answered one query differently."""
+
+
+class ChainBackedGraph(HBGraph):
+    """An HBGraph whose queries are answered by incremental chain clocks.
+
+    Construction calls feed both the graph structure (kept for edges,
+    serialization and introspection) and the clocks; ``happens_before`` /
+    ``concurrent`` never touch the ancestor cache, so the O(V²) frozen
+    ancestor sets are simply never built.
+    """
+
+    def __init__(self, assert_forward: bool = True):
+        super().__init__(assert_forward=assert_forward)
+        self.clocks = IncrementalChainClocks(assert_forward=assert_forward)
+
+    def add_operation(self, op_id: int) -> None:
+        super().add_operation(op_id)
+        self.clocks.add_operation(op_id)
+
+    def add_edge(self, src: int, dst: int, rule: str = "") -> bool:
+        added = super().add_edge(src, dst, rule)
+        if added:
+            self.clocks.add_edge(src, dst, rule)
+        return added
+
+    def happens_before(self, a: int, b: int) -> bool:
+        return self.clocks.happens_before(a, b)
+
+    def concurrent(self, a: int, b: int) -> bool:
+        return self.clocks.concurrent(a, b)
+
+    def memory_cells(self) -> int:
+        return self.clocks.memory_cells()
+
+
+class CrosscheckGraph(HBGraph):
+    """Answers every query from both engines and demands they agree."""
+
+    def __init__(self, assert_forward: bool = True):
+        super().__init__(assert_forward=assert_forward)
+        self.clocks = IncrementalChainClocks(assert_forward=assert_forward)
+        self.queries_checked = 0
+
+    def add_operation(self, op_id: int) -> None:
+        super().add_operation(op_id)
+        self.clocks.add_operation(op_id)
+
+    def add_edge(self, src: int, dst: int, rule: str = "") -> bool:
+        added = super().add_edge(src, dst, rule)
+        if added:
+            self.clocks.add_edge(src, dst, rule)
+        return added
+
+    def happens_before(self, a: int, b: int) -> bool:
+        graph_answer = super().happens_before(a, b)
+        chain_answer = self.clocks.happens_before(a, b)
+        self.queries_checked += 1
+        if graph_answer != chain_answer:
+            raise BackendDisagreement(
+                f"happens_before({a}, {b}): graph says {graph_answer}, "
+                f"chain clocks say {chain_answer}"
+            )
+        return graph_answer
+
+    def concurrent(self, a: int, b: int) -> bool:
+        # Goes through our happens_before, so both directions are checked.
+        if a == b:
+            return False
+        return not self.happens_before(a, b) and not self.happens_before(b, a)
+
+    def memory_cells(self) -> int:
+        return super().memory_cells() + self.clocks.memory_cells()
+
+
+def make_backend(name: str, assert_forward: bool = True) -> HBGraph:
+    """Build the happens-before store selected by ``name``.
+
+    Every backend *is* an :class:`HBGraph` (structure included), so
+    serialization and rule audits work unchanged regardless of selection.
+    """
+    if name == "graph":
+        return HBGraph(assert_forward=assert_forward)
+    if name == "chains":
+        return ChainBackedGraph(assert_forward=assert_forward)
+    if name == "crosscheck":
+        return CrosscheckGraph(assert_forward=assert_forward)
+    raise ValueError(
+        f"unknown hb backend {name!r}; expected one of {', '.join(HB_BACKENDS)}"
+    )

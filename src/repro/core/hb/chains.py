@@ -1,0 +1,206 @@
+"""Incremental online chain vector clocks (paper, Section 5.2.1 future work).
+
+The paper's WebRacer answers CHC queries by graph traversal and names "a
+more efficient vector-clock representation" as planned future work.  The
+offline :class:`~repro.core.hb.vector_clock.ChainVectorClocks` ablation
+(E9) showed chain-decomposed clocks answer the same queries from far less
+state than frozen ancestor sets — this module makes that representation
+*online* so the live detector can use it.
+
+Like :class:`~repro.core.hb.graph.HBGraph`, the class relies on the
+browser's frozen-prefix discipline: every incoming edge of an operation is
+added before that operation performs its first access, and therefore
+before it shows up in any CHC query.  An operation's chain assignment and
+clock are *finalized* lazily, the first time a query needs them (which
+recursively finalizes its happens-before cone).  An edge arriving into an
+already-finalized operation would silently corrupt reachability answers,
+so — mirroring the graph's ancestor-cache check — it raises instead.
+
+Chain assignment is greedy, exactly as in the offline builder: an
+operation extends the chain of a predecessor that is still that chain's
+tail, otherwise it starts a fresh chain.  Every finalized operation
+carries a clock ``{chain -> highest position on that chain that happens
+before (or at) this operation}``; ``a ≺ b`` iff ``b``'s clock covers
+``a``'s position on ``a``'s chain — an O(1) dictionary lookup, with
+O(C) amortized maintenance per operation (C = number of chains) instead
+of the ancestor cache's O(V) per operation and O(V²) worst-case memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+class IncrementalChainClocks:
+    """Chain-decomposed vector clocks maintained online, edge by edge."""
+
+    def __init__(self, assert_forward: bool = True):
+        self.assert_forward = assert_forward
+        self._pred: Dict[int, List[int]] = {}
+        self._edge_set: Set[Tuple[int, int]] = set()
+        #: op -> (chain index, position within chain); presence = finalized.
+        self.position: Dict[int, Tuple[int, int]] = {}
+        #: op -> {chain index -> max covered position} (finalized ops only).
+        self.clock: Dict[int, Dict[int, int]] = {}
+        self._chain_tail: Dict[int, int] = {}
+        self.chain_count = 0
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def add_operation(self, op_id: int) -> None:
+        """Register an operation (idempotent)."""
+        self._pred.setdefault(op_id, [])
+
+    def add_edge(self, src: int, dst: int, rule: str = "") -> bool:
+        """Add ``src ≺ dst``; returns False if the edge already existed.
+
+        Enforces the forward discipline (``src < dst``) and rejects edges
+        into an operation whose clock was already finalized (that would
+        silently invalidate every answer derived from it).
+        """
+        if src == dst:
+            return False
+        if self.assert_forward and src > dst:
+            raise ValueError(
+                f"backward happens-before edge {src} -> {dst} (rule {rule!r}); "
+                "edges must point from older to newer operations"
+            )
+        if dst in self.position:
+            raise ValueError(
+                f"edge {src} -> {dst} (rule {rule!r}) added after operation "
+                f"{dst}'s clock was finalized; incoming edges must precede "
+                "execution"
+            )
+        if (src, dst) in self._edge_set:
+            return False
+        self._edge_set.add((src, dst))
+        self._pred.setdefault(src, [])
+        self._pred.setdefault(dst, []).append(src)
+        return True
+
+    # ------------------------------------------------------------------
+    # finalization
+
+    def _finalize(self, op_id: int) -> None:
+        """Assign a chain position and clock to ``op_id`` (and its cone)."""
+        if op_id in self.position:
+            return
+        stack = [op_id]
+        while stack:
+            op = stack[-1]
+            if op in self.position:
+                stack.pop()
+                continue
+            pending = [p for p in self._pred[op] if p not in self.position]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            self._assign(op)
+
+    def _assign(self, op_id: int) -> None:
+        predecessors = self._pred[op_id]
+
+        # Chain assignment: extend a predecessor's chain if it is still
+        # that chain's tail, otherwise open a new chain.
+        assigned: Optional[int] = None
+        for pred in predecessors:
+            chain, _pos = self.position[pred]
+            if self._chain_tail.get(chain) == pred:
+                assigned = chain
+                break
+        if assigned is None:
+            assigned = self.chain_count
+            self.chain_count += 1
+            position = 0
+        else:
+            position = self.position[self._chain_tail[assigned]][1] + 1
+        self.position[op_id] = (assigned, position)
+        self._chain_tail[assigned] = op_id
+
+        # Clock: pointwise max over predecessors' clocks, plus each
+        # predecessor's own position, plus our own position.
+        clock: Dict[int, int] = {}
+        for pred in predecessors:
+            for chain, pos in self.clock[pred].items():
+                if clock.get(chain, -1) < pos:
+                    clock[chain] = pos
+            pred_chain, pred_pos = self.position[pred]
+            if clock.get(pred_chain, -1) < pred_pos:
+                clock[pred_chain] = pred_pos
+        clock[assigned] = position
+        self.clock[op_id] = clock
+
+    # ------------------------------------------------------------------
+    # queries (same interface as HBGraph / ChainVectorClocks)
+
+    def happens_before(self, a: int, b: int) -> bool:
+        """True iff ``a ≺ b``; finalizes both operations' cones."""
+        if a == b:
+            return False
+        # Fast path: both operations already finalized (the common case on
+        # the detection hot path — priors were queried before).
+        pos_a = self.position.get(a)
+        clock_b = self.clock.get(b)
+        if pos_a is None or clock_b is None:
+            if a not in self._pred or b not in self._pred:
+                return False
+            if self.assert_forward and a > b:
+                # Forward discipline: an older id can never be reached from
+                # a newer one, so b ≺ a would require a backward edge.
+                return False
+            self._finalize(a)
+            self._finalize(b)
+            pos_a = self.position[a]
+            clock_b = self.clock[b]
+        elif self.assert_forward and a > b:
+            return False
+        chain, position = pos_a
+        return clock_b.get(chain, -1) >= position
+
+    def concurrent(self, a: int, b: int) -> bool:
+        """True iff neither ``a ≺ b`` nor ``b ≺ a`` (and ``a != b``)."""
+        if a == b:
+            return False
+        if self.assert_forward:
+            # Forward discipline: the newer op can never precede the older
+            # one, so a single directed query settles concurrency.
+            if a > b:
+                a, b = b, a
+            return not self.happens_before(a, b)
+        return not self.happens_before(a, b) and not self.happens_before(b, a)
+
+    def chc(self, a: int, b: int) -> bool:
+        """Can-Happen-Concurrently with ⊥ (id 0) handling."""
+        if a == 0 or b == 0:
+            return False
+        return self.concurrent(a, b)
+
+    # ------------------------------------------------------------------
+    # introspection (tests, benchmarks)
+
+    def operation_ids(self) -> List[int]:
+        """All registered operation ids, sorted."""
+        return sorted(self._pred.keys())
+
+    def memory_cells(self) -> int:
+        """Total clock entries — the representation's memory footprint."""
+        return sum(len(clock) for clock in self.clock.values())
+
+    def finalized_count(self) -> int:
+        """How many operations have been assigned a chain position."""
+        return len(self.position)
+
+    def chains(self) -> List[List[int]]:
+        """The chain decomposition over finalized operations."""
+        result: List[List[int]] = [[] for _ in range(self.chain_count)]
+        for op_id in sorted(self.position):
+            chain, _pos = self.position[op_id]
+            result[chain].append(op_id)
+        return result
+
+    def finalize_all(self) -> None:
+        """Finalize every registered operation (offline replays, tests)."""
+        for op_id in self.operation_ids():
+            self._finalize(op_id)

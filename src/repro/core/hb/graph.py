@@ -125,8 +125,19 @@ class HBGraph:
             return False
         return not self.happens_before(a, b) and not self.happens_before(b, a)
 
+    def chc(self, a: int, b: int) -> bool:
+        """Can-Happen-Concurrently with ⊥ (id 0) handling."""
+        if a == 0 or b == 0:
+            return False
+        return self.concurrent(a, b)
+
     # ------------------------------------------------------------------
     # introspection (tests, benchmarks, reports)
+
+    def memory_cells(self) -> int:
+        """Total cached ancestor-set entries — the query engine's memory
+        footprint (compare :meth:`IncrementalChainClocks.memory_cells`)."""
+        return sum(len(ancestors) for ancestors in self._ancestor_cache.values())
 
     @property
     def edges(self) -> List[Edge]:

@@ -12,11 +12,46 @@ all consume it after the fact.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .access import Access
 from .locations import Location
 from .operations import Operation, OperationFactory
+
+
+class AccessIndex:
+    """Per-``(op_id, location)`` access index over one trace.
+
+    Built in one pass; answers the filters' "did this operation read the
+    location before/write it after seq N?" questions in O(1) instead of
+    rescanning the whole trace per race.  Lookups compare recorded ``seq``
+    values, never list positions, so traces whose seqs are non-contiguous
+    (reconstructed, sliced, or merged traces) are handled correctly.
+    """
+
+    def __init__(self, accesses: List[Access]):
+        self.count = len(accesses)
+        #: (op_id, location) -> sorted seqs of that operation's reads there.
+        self._reads: Dict[Tuple[int, Location], List[int]] = {}
+        #: (op_id, location) -> sorted seqs of that operation's writes there.
+        self._writes: Dict[Tuple[int, Location], List[int]] = {}
+        for access in accesses:
+            bucket = self._reads if access.is_read else self._writes
+            bucket.setdefault((access.op_id, access.location), []).append(access.seq)
+        for seqs in self._reads.values():
+            seqs.sort()
+        for seqs in self._writes.values():
+            seqs.sort()
+
+    def read_before(self, op_id: int, location: Location, seq: int) -> bool:
+        """Did ``op_id`` read ``location`` at a seq strictly before ``seq``?"""
+        seqs = self._reads.get((op_id, location))
+        return bool(seqs) and seqs[0] < seq
+
+    def write_after(self, op_id: int, location: Location, seq: int) -> bool:
+        """Did ``op_id`` write ``location`` at a seq strictly after ``seq``?"""
+        seqs = self._writes.get((op_id, location))
+        return bool(seqs) and seqs[-1] > seq
 
 
 class Trace:
@@ -27,6 +62,7 @@ class Trace:
         self.accesses: List[Access] = []
         self.crashes: List = []  # repro.js.errors.ScriptCrash values
         self._listeners: List[Callable[[Access], None]] = []
+        self._access_index: Optional[AccessIndex] = None
 
     # ------------------------------------------------------------------
     # recording
@@ -49,6 +85,18 @@ class Trace:
 
     # ------------------------------------------------------------------
     # queries
+
+    def access_index(self) -> AccessIndex:
+        """The per-``(op_id, location)`` index, built lazily and cached.
+
+        Rebuilt automatically when the access list has grown (or was
+        reconstructed in place) since the last build.
+        """
+        index = self._access_index
+        if index is None or index.count != len(self.accesses):
+            index = AccessIndex(self.accesses)
+            self._access_index = index
+        return index
 
     def operation(self, op_id: int) -> Operation:
         """Look up an operation by id."""

@@ -162,6 +162,7 @@ class WebRacer:
         min_latency: float = 5.0,
         max_latency: float = 120.0,
         max_run_ms: Optional[float] = None,
+        hb_backend: str = "graph",
     ):
         self.seed = seed
         self.scheduler = scheduler
@@ -173,6 +174,7 @@ class WebRacer:
         self.min_latency = min_latency
         self.max_latency = max_latency
         self.max_run_ms = max_run_ms
+        self.hb_backend = hb_backend
 
     # ------------------------------------------------------------------
 
@@ -192,6 +194,7 @@ class WebRacer:
             max_latency=self.max_latency,
             full_history=self.full_history,
             report_all_per_location=self.report_all_per_location,
+            hb_backend=self.hb_backend,
         )
 
     def check_page(

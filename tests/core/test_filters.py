@@ -89,6 +89,68 @@ class TestFormFilter:
         assert not form_race_filter(race, "variable", trace)
 
 
+class TestReconstructedTraces:
+    """Filters must key off ``seq`` values, not list positions.
+
+    A trace that was sliced, merged, or reconstructed offline can have
+    non-contiguous seqs; the old list-slicing helpers silently missed
+    guards there (``accesses[seq + 1:]`` walked past the end)."""
+
+    @staticmethod
+    def sparse_trace():
+        trace = Trace()
+        read = Access(kind=READ, op_id=3, location=FORM_VALUE, seq=5)
+        write = Access(kind=WRITE, op_id=3, location=FORM_VALUE, seq=7)
+        # Bypass record(): reconstructed traces keep their original seqs.
+        trace.accesses.extend([read, write])
+        return trace, read, write
+
+    def test_guard_read_found_despite_sparse_seqs(self):
+        trace, read, write = self.sparse_trace()
+        race = Race(
+            location=FORM_VALUE,
+            prior=Access(kind=WRITE, op_id=2, location=FORM_VALUE,
+                         detail={"user_input": True}, seq=6),
+            current=read,
+            kind=READ_WRITE,
+        )
+        # op 3 writes the field at seq 7 > 5: the read is a typing guard.
+        assert not form_race_filter(race, "variable", trace)
+
+    def test_guarded_write_found_despite_sparse_seqs(self):
+        trace, read, write = self.sparse_trace()
+        race = Race(
+            location=FORM_VALUE,
+            prior=Access(kind=WRITE, op_id=2, location=FORM_VALUE, seq=6),
+            current=write,
+            kind=WRITE_WRITE,
+        )
+        # op 3 read the field at seq 5 < 7 before writing it: guarded.
+        assert not form_race_filter(race, "variable", trace)
+
+    def test_unguarded_sparse_trace_keeps_race(self):
+        trace = Trace()
+        write = Access(kind=WRITE, op_id=3, location=FORM_VALUE, seq=11)
+        trace.accesses.append(write)
+        race = Race(
+            location=FORM_VALUE,
+            prior=Access(kind=WRITE, op_id=2, location=FORM_VALUE, seq=4),
+            current=write,
+            kind=WRITE_WRITE,
+        )
+        assert form_race_filter(race, "variable", trace)
+
+    def test_index_rebuilds_when_trace_grows(self):
+        trace = Trace()
+        write = Access(kind=WRITE, op_id=3, location=FORM_VALUE)
+        trace.record(write)
+        assert not trace.access_index().read_before(3, FORM_VALUE, write.seq)
+        trace.record(Access(kind=READ, op_id=3, location=FORM_VALUE))
+        later_write = Access(kind=WRITE, op_id=3, location=FORM_VALUE)
+        trace.record(later_write)
+        assert trace.access_index().read_before(3, FORM_VALUE, later_write.seq)
+
+
 class TestSingleDispatchFilter:
     def test_keeps_load_handler_race(self):
         race = make_race(LOAD_HANDLER)

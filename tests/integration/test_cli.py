@@ -80,6 +80,31 @@ class TestAnalyze:
         assert "races" in capsys.readouterr().out
 
 
+class TestHbBackend:
+    def test_check_with_chains_backend_matches_graph(self, buggy_page, capsys):
+        page, hint = buggy_page
+        outputs = {}
+        for backend in ("graph", "chains", "crosscheck"):
+            status = main([
+                "check", str(page),
+                "--resource", f"hint.js={hint}",
+                "--hb-backend", backend,
+            ])
+            assert status == 1
+            outputs[backend] = capsys.readouterr().out
+        assert outputs["graph"] == outputs["chains"] == outputs["crosscheck"]
+
+    def test_corpus_crosscheck_backend(self, capsys):
+        status = main(["corpus", "--sites", "2", "--hb-backend", "crosscheck"])
+        assert status == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_unknown_backend_rejected(self, buggy_page):
+        page, _hint = buggy_page
+        with pytest.raises(SystemExit):
+            main(["check", str(page), "--hb-backend", "bogus"])
+
+
 class TestCorpus:
     def test_small_corpus_run(self, capsys):
         status = main(["corpus", "--sites", "5"])
@@ -87,3 +112,14 @@ class TestCorpus:
         assert status == 0
         assert "Table 1" in out
         assert "Table 2" in out
+
+    def test_partial_run_omits_paper_comparisons(self, capsys):
+        """Paper numbers describe the full 100-site corpus; comparing a
+        partial run against them is misleading (matches the Table 2
+        paper_totals gating)."""
+        status = main(["corpus", "--sites", "3"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "sites with races:" in out
+        assert "(paper 41)" not in out
+        assert "Paper" not in out.split("Table 2")[1]
