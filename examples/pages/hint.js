@@ -1,0 +1,3 @@
+// Arrives late over the network and clobbers whatever the user typed —
+// the form-field hint overwrite of paper Fig. 2.
+document.getElementById('search').value = 'Search…';

@@ -9,21 +9,37 @@ Commands
     src, image, XHR endpoint) to a local file.  ``--json`` additionally
     dumps the full execution trace for offline analysis.
 
-``corpus [--sites N] [--seed N]``
+``corpus [--sites N] [--seed N] [--json out.json]``
     Build the synthetic Fortune-100 corpus and print Table 1 / Table 2.
-
-Both commands accept ``--hb-backend {graph,chains,crosscheck}`` to select
-the happens-before representation answering CHC queries: the paper's graph
-with frozen ancestor sets (default), incremental chain vector clocks, or
-both cross-checked against each other (slow; raises on any disagreement).
+    ``--json`` additionally writes the tables as machine-readable JSON.
 
 ``analyze TRACE.json``
     Re-run detection, filtering and classification on a captured trace.
+
+All three commands accept ``--hb-backend {graph,chains,crosscheck}`` to
+select the happens-before representation answering CHC queries: the
+paper's graph with frozen ancestor sets (default), incremental chain
+vector clocks, or both cross-checked against each other (slow; raises on
+any disagreement).
+
+``check`` and ``corpus`` also accept the profiling flags:
+
+``--profile``
+    Print a per-phase timing and counter table after the report.
+``--trace-out FILE``
+    Write a Chrome trace-event file (open in chrome://tracing / Perfetto).
+``--stats-json FILE``
+    Write phase timings, counters and race totals as JSON (per-site for
+    ``corpus`` runs).
+
+Profiling never changes detection results: the instrumentation layer only
+observes, so a profiled run reports byte-identical races.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -32,6 +48,7 @@ from .core.hb.backend import HB_BACKENDS
 from .core.render import render_crashes, render_race_report, render_table1, render_table2
 from .core.report import RACE_TYPES
 from .core.serialize import dump_trace, load_trace
+from .obs import Instrumentation, render_profile, stats_dict, write_chrome_trace
 
 
 def _print_report(report) -> int:
@@ -40,6 +57,29 @@ def _print_report(report) -> int:
     if report.trace.crashes:
         print(render_crashes(report.trace.crashes))
     return 1 if report.classified.harmful() else 0
+
+
+def _make_obs(args) -> Optional[Instrumentation]:
+    """A live Instrumentation when any profiling flag asks for one."""
+    if args.profile or args.trace_out or args.stats_json:
+        return Instrumentation()
+    return None
+
+
+def _emit_profile(args, obs: Optional[Instrumentation], extra=None) -> None:
+    """Print/write whatever profiling outputs the flags requested."""
+    if obs is None:
+        return
+    if args.profile:
+        print()
+        print(render_profile(obs))
+    if args.trace_out:
+        write_chrome_trace(obs, args.trace_out)
+        print(f"chrome trace written to {args.trace_out}")
+    if args.stats_json:
+        with open(args.stats_json, "w") as handle:
+            json.dump(stats_dict(obs, extra=extra), handle, indent=2)
+        print(f"stats written to {args.stats_json}")
 
 
 def cmd_check(args) -> int:
@@ -54,13 +94,80 @@ def cmd_check(args) -> int:
             return 2
         with open(path) as handle:
             resources[url] = handle.read()
-    racer = WebRacer(seed=args.seed, hb_backend=args.hb_backend)
+    obs = _make_obs(args)
+    racer = WebRacer(seed=args.seed, hb_backend=args.hb_backend, obs=obs)
     report = racer.check_page(html, resources=resources, url=args.page)
     status = _print_report(report)
     if args.json:
         dump_trace(report.trace, report.page.monitor.graph, args.json)
         print(f"trace written to {args.json}")
+    _emit_profile(
+        args,
+        obs,
+        extra={
+            "page": args.page,
+            "races": {
+                "raw": len(report.raw_races),
+                "filtered": len(report.filtered_races),
+                "harmful": len(report.classified.harmful()),
+            },
+        },
+    )
     return status
+
+
+def _corpus_tables_dict(corpus_report, full_run: bool):
+    """Table 1 / Table 2 / totals as a machine-readable dict."""
+    from .sites import PAPER_TABLE1, PAPER_TABLE2_TOTALS
+
+    payload = {
+        "sites_checked": len(corpus_report.reports),
+        "full_run": full_run,
+        "table1": corpus_report.table1(),
+        "table2": [
+            {
+                "site": row["site"],
+                **{
+                    race_type: {"count": row[race_type][0], "harmful": row[race_type][1]}
+                    for race_type in RACE_TYPES
+                },
+            }
+            for row in corpus_report.table2()
+        ],
+        "table2_totals": {
+            race_type: {"count": count, "harmful": harmful}
+            for race_type, (count, harmful) in corpus_report.table2_totals().items()
+        },
+        "sites_with_races": corpus_report.sites_with_filtered_races(),
+    }
+    if full_run:
+        payload["paper"] = {
+            "table1": PAPER_TABLE1,
+            "table2_totals": {
+                race_type: {"count": count, "harmful": harmful}
+                for race_type, (count, harmful) in PAPER_TABLE2_TOTALS.items()
+            },
+            "sites_with_races": 41,
+        }
+    return payload
+
+
+def _per_site_stats(corpus_report) -> List[dict]:
+    """Per-site race totals for the corpus ``--stats-json`` payload."""
+    return [
+        {
+            "site": report.url,
+            "races": {
+                "raw": len(report.raw_races),
+                "filtered": len(report.filtered_races),
+                "harmful": len(report.classified.harmful()),
+            },
+            "operations": len(report.trace.operations),
+            "accesses": len(report.trace.accesses),
+            "chc_queries": report.page.monitor.detector.chc_queries,
+        }
+        for report in corpus_report.reports
+    ]
 
 
 def cmd_corpus(args) -> int:
@@ -68,10 +175,14 @@ def cmd_corpus(args) -> int:
     from .sites import PAPER_TABLE1, PAPER_TABLE2_TOTALS, build_corpus
 
     sites = build_corpus(master_seed=args.seed, limit=args.sites)
-    racer = WebRacer(seed=args.seed, hb_backend=args.hb_backend)
+    obs = _make_obs(args)
+    racer = WebRacer(seed=args.seed, hb_backend=args.hb_backend, obs=obs)
     corpus_report = racer.check_corpus(sites)
 
-    full_run = args.sites == 100
+    # Paper comparisons only make sense against the full 100-site corpus.
+    # Gate on the number of sites actually built: ``--sites 150`` clamps
+    # to the full corpus (compare away), a smaller build never compares.
+    full_run = len(sites) >= 100
     print("Table 1 — unfiltered (reproduced vs. paper):")
     print(render_table1(corpus_report.table1(), paper=PAPER_TABLE1))
     print()
@@ -83,23 +194,40 @@ def cmd_corpus(args) -> int:
             paper_totals=PAPER_TABLE2_TOTALS if full_run else None,
         )
     )
-    # Paper comparisons only make sense against the full 100-site corpus
-    # (same gating as the Table 2 paper_totals row above).
     line = f"sites with races: {corpus_report.sites_with_filtered_races()}"
     if full_run:
         line += " (paper 41)"
     print(line)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(_corpus_tables_dict(corpus_report, full_run), handle, indent=2)
+        print(f"tables written to {args.json}")
+    _emit_profile(args, obs, extra={"sites": _per_site_stats(corpus_report)})
     return 0
 
 
 def cmd_analyze(args) -> int:
     """Analyse a captured trace file (the `analyze` subcommand)."""
-    loaded = load_trace(args.trace)
+    loaded = load_trace(args.trace, hb_backend=args.hb_backend)
     report = loaded.report(apply_filters=not args.no_filters)
     print(f"{args.trace}: {len(loaded.trace.accesses)} accesses, "
           f"{len(loaded.trace.operations.operations)} operations")
     print(render_race_report(report, title=report.summary()))
     return 1 if report.harmful() else 0
+
+
+def _add_hb_backend(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--hb-backend", choices=HB_BACKENDS, default="graph",
+                        help="happens-before representation for CHC queries")
+
+
+def _add_profiling(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-phase timing and counter table")
+    parser.add_argument("--trace-out", metavar="FILE",
+                        help="write a Chrome trace-event file (chrome://tracing)")
+    parser.add_argument("--stats-json", metavar="FILE",
+                        help="write phase timings and counters as JSON")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -115,20 +243,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="map a sub-resource URL to a local file")
     check.add_argument("--seed", type=int, default=0)
     check.add_argument("--json", help="dump the trace to this file")
-    check.add_argument("--hb-backend", choices=HB_BACKENDS, default="graph",
-                       help="happens-before representation for CHC queries")
+    _add_hb_backend(check)
+    _add_profiling(check)
     check.set_defaults(func=cmd_check)
 
     corpus = sub.add_parser("corpus", help="run the Fortune-100 evaluation")
     corpus.add_argument("--sites", type=int, default=100)
     corpus.add_argument("--seed", type=int, default=0)
-    corpus.add_argument("--hb-backend", choices=HB_BACKENDS, default="graph",
-                        help="happens-before representation for CHC queries")
+    corpus.add_argument("--json", metavar="FILE",
+                        help="write Table 1 / Table 2 / totals as JSON")
+    _add_hb_backend(corpus)
+    _add_profiling(corpus)
     corpus.set_defaults(func=cmd_corpus)
 
     analyze = sub.add_parser("analyze", help="analyse a captured trace")
     analyze.add_argument("trace", help="path to a trace JSON file")
     analyze.add_argument("--no-filters", action="store_true")
+    _add_hb_backend(analyze)
     analyze.set_defaults(func=cmd_analyze)
     return parser
 

@@ -160,6 +160,23 @@ class Dispatcher:
         pre_action: Optional[Callable[[], None]] = None,
         meta: Optional[dict] = None,
     ) -> DispatchResult:
+        with self.page.obs.span(
+            "dispatch", cat="event", event=event_type, user=user, inline=inline
+        ):
+            return self._dispatch_timed(
+                event_type, target, user, inline, extra_sources, pre_action, meta
+            )
+
+    def _dispatch_timed(
+        self,
+        event_type: str,
+        target: Any,
+        user: bool,
+        inline: bool,
+        extra_sources: Optional[List[Tuple[int, str]]] = None,
+        pre_action: Optional[Callable[[], None]] = None,
+        meta: Optional[dict] = None,
+    ) -> DispatchResult:
         page = self.page
         monitor = page.monitor
         key = _target_key(target)

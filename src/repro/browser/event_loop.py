@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from .clock import VirtualClock
+from ..obs import NULL
 
 #: Ready times closer than this are considered simultaneous, widening the
 #: scheduler's choice set (models jitter in a real browser's queues).
@@ -52,11 +53,13 @@ class EventLoop:
         clock: Optional[VirtualClock] = None,
         scheduler=None,
         tie_window: float = TIE_EPSILON,
+        obs=None,
     ):
         from .scheduler import FifoScheduler  # avoid import cycle
 
         self.clock = clock if clock is not None else VirtualClock()
         self.scheduler = scheduler if scheduler is not None else FifoScheduler()
+        self.obs = obs if obs is not None else NULL
         #: Tasks whose ready times fall within this window of the earliest
         #: are offered to the scheduler together.  The default models exact
         #: simultaneity; ``float("inf")`` offers *every* pending task —
@@ -116,7 +119,17 @@ class EventLoop:
         self._tasks.remove(chosen)
         self.clock.advance_to(chosen.ready_time)
         self.executed_count += 1
-        chosen.action()
+        if self.obs.enabled:
+            self.obs.count("loop.task." + chosen.kind)
+            with self.obs.span(
+                "task." + chosen.kind,
+                cat="loop",
+                label=chosen.label,
+                vtime_ms=chosen.ready_time,
+            ):
+                chosen.action()
+        else:
+            chosen.action()
         return True
 
     def run(self, until: Optional[Callable[[], bool]] = None) -> int:

@@ -43,6 +43,7 @@ from ..dom.element import Element
 from ..dom.node import Node
 from ..js.errors import ScriptCrash
 from ..js.interpreter import AccessHooks
+from ..obs import NULL
 
 
 class Monitor:
@@ -54,19 +55,24 @@ class Monitor:
         full_history: bool = False,
         report_all_per_location: bool = False,
         hb_backend: str = "graph",
+        obs=None,
     ):
         self.enabled = enabled
+        self.obs = obs if obs is not None else NULL
         self.trace = Trace()
         self.hb_backend = hb_backend
-        self.graph = make_backend(hb_backend)
+        self.graph = make_backend(hb_backend, obs=self.obs)
         self.rules = RuleEngine(self.graph)
         self.detector = RaceDetector(
-            self.graph, report_all_per_location=report_all_per_location
+            self.graph,
+            report_all_per_location=report_all_per_location,
+            obs=self.obs,
+            backend=hb_backend,
         )
         self.trace.subscribe(self.detector.on_access)
         self.full_detector: Optional[FullHistoryDetector] = None
         if full_history:
-            self.full_detector = FullHistoryDetector(self.graph)
+            self.full_detector = FullHistoryDetector(self.graph, obs=self.obs)
             self.trace.subscribe(self.full_detector.on_access)
         self._op_stack: List[Operation] = []
         #: element node_id -> create(E) operation id (Section 3.2 create()).
@@ -82,6 +88,8 @@ class Monitor:
         """Allocate an operation and register it in the HB graph."""
         operation = self.trace.operations.create(kind, label, meta, parent)
         self.graph.add_operation(operation.op_id)
+        if self.obs.enabled:
+            self.obs.count("op." + kind)
         return operation
 
     def begin_operation(self, operation: Operation) -> None:
@@ -148,6 +156,8 @@ class Monitor:
         if not self.enabled or not self._op_stack:
             return None
         op_id = self.current_id()
+        if self.obs.enabled:
+            self.obs.count("access.read" if kind == READ else "access.write")
         detail = dict(detail) if detail else {}
         if kind == READ:
             self._op_reads.add((op_id, location))
@@ -172,6 +182,9 @@ class Monitor:
         crash = ScriptCrash(
             operation.op_id if operation else None, error, where=where
         )
+        if self.obs.enabled:
+            self.obs.count("crash.hidden")
+            self.obs.instant("crash", where=where)
         self.trace.record_crash(crash)
 
     # ------------------------------------------------------------------

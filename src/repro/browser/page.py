@@ -53,6 +53,7 @@ from .scheduler import Scheduler, make_scheduler
 from .timers import TimerEntry, TimerRegistry
 from .window import Window
 from .xhr import XhrBinding, make_xhr_constructor
+from ..obs import NULL
 
 #: Virtual milliseconds consumed by parsing one element.
 PARSE_STEP_MS = 0.5
@@ -74,17 +75,21 @@ class Browser:
         report_all_per_location: bool = False,
         tie_window: Optional[float] = None,
         hb_backend: str = "graph",
+        obs=None,
     ):
         self.seed = seed
+        self.obs = obs if obs is not None else NULL
         self.clock = VirtualClock()
         if isinstance(scheduler, str):
             scheduler = make_scheduler(scheduler, seed=seed)
         if not isinstance(scheduler, Scheduler):
             raise TypeError(f"not a scheduler: {scheduler!r}")
         if tie_window is None:
-            self.loop = EventLoop(self.clock, scheduler)
+            self.loop = EventLoop(self.clock, scheduler, obs=self.obs)
         else:
-            self.loop = EventLoop(self.clock, scheduler, tie_window=tie_window)
+            self.loop = EventLoop(
+                self.clock, scheduler, tie_window=tie_window, obs=self.obs
+            )
         self.network = NetworkSimulator(
             self.loop,
             resources=resources,
@@ -98,6 +103,7 @@ class Browser:
             full_history=full_history,
             report_all_per_location=report_all_per_location,
             hb_backend=hb_backend,
+            obs=self.obs,
         )
 
     def open(self, html: str, url: str = "page.html") -> "Page":
@@ -172,6 +178,7 @@ class Page:
         self.clock = browser.clock
         self.network = browser.network
         self.monitor = browser.monitor
+        self.obs = browser.obs
         self.url = url
 
         self.bindings = Bindings(self)
@@ -344,8 +351,9 @@ class Page:
 
         self.monitor.begin_operation(op)
         try:
-            unit.commit(loader.document)
-            self._process_handler_attributes(element)
+            with self.obs.span("parse.step", cat="html", label=label):
+                unit.commit(loader.document)
+                self._process_handler_attributes(element)
         finally:
             self.monitor.end_operation(op)
 
@@ -480,7 +488,8 @@ class Page:
         self.monitor.graph.add_edge(create_op, op.op_id, R.RULE_2)
         self.monitor.begin_operation(op)
         try:
-            self.run_source_in_current_op(source, where=label)
+            with self.obs.span("script.exe", cat="js", label=label):
+                self.run_source_in_current_op(source, where=label)
         finally:
             self.monitor.end_operation(op)
         return op.op_id
@@ -633,9 +642,12 @@ class Page:
                         graph.add_edge(op_id, exe_op_obj.op_id, R.RULE_5)
                 self.monitor.begin_operation(exe_op_obj)
                 try:
-                    self.run_source_in_current_op(
-                        entry["content"], where="deferred script"
-                    )
+                    with self.obs.span(
+                        "script.exe", cat="js", label=exe_op_obj.label
+                    ):
+                        self.run_source_in_current_op(
+                            entry["content"], where="deferred script"
+                        )
                 finally:
                     self.monitor.end_operation(exe_op_obj)
                 ld_ops = self._dispatch_element_load(
@@ -709,8 +721,17 @@ class Page:
             return
         self._root_loaded = True
         if self.auto_explore:
+
+            def run_explore() -> None:
+                with self.obs.span("explore.queue", cat="explore"):
+                    self.explorer.explore()
+                if self.obs.enabled:
+                    self.obs.count(
+                        "explore.interactions", len(self.explorer.dispatched)
+                    )
+
             self.loop.post(
-                self.explorer.explore, delay=1.0, kind="user", label="auto-explore"
+                run_explore, delay=1.0, kind="user", label="auto-explore"
             )
 
     # ------------------------------------------------------------------
@@ -752,19 +773,22 @@ class Page:
         entry.last_fire_op = op.op_id
         monitor.begin_operation(op)
         try:
-            monitor.timer_slot_read(entry.timer_id)
-            if isinstance(entry.callback, str):
-                self.run_source_in_current_op(entry.callback, where="timer source")
-            elif is_callable(entry.callback):
-                self.interpreter.reset_budget()
-                try:
-                    self.interpreter.call_function(
-                        entry.callback, self.interpreter.this_value, []
+            with self.obs.span("timer.fire", cat="timer", label=op.label):
+                monitor.timer_slot_read(entry.timer_id)
+                if isinstance(entry.callback, str):
+                    self.run_source_in_current_op(
+                        entry.callback, where="timer source"
                     )
-                except JSThrow as thrown:
-                    monitor.record_crash(thrown.value, where="timer callback")
-                except BudgetExceeded as error:
-                    monitor.record_crash(error, where="timer callback")
+                elif is_callable(entry.callback):
+                    self.interpreter.reset_budget()
+                    try:
+                        self.interpreter.call_function(
+                            entry.callback, self.interpreter.this_value, []
+                        )
+                    except JSThrow as thrown:
+                        monitor.record_crash(thrown.value, where="timer callback")
+                    except BudgetExceeded as error:
+                        monitor.record_crash(error, where="timer callback")
         finally:
             monitor.end_operation(op)
 
@@ -946,10 +970,11 @@ class Page:
 
     def run(self, max_ms: Optional[float] = None) -> "Page":
         """Drive the event loop until the page settles (or ``max_ms``)."""
-        if max_ms is None:
-            self.loop.run()
-        else:
-            self.loop.run_for(max_ms)
+        with self.obs.span("page.run", cat="pipeline", url=self.url):
+            if max_ms is None:
+                self.loop.run()
+            else:
+                self.loop.run_for(max_ms)
         return self
 
     # ------------------------------------------------------------------

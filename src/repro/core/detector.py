@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Set
 from .access import Access
 from .hb.backend import HBBackend
 from .locations import Location
+from ..obs import NULL
 
 READ_WRITE = "read-write"
 WRITE_WRITE = "write-write"
@@ -57,9 +58,18 @@ class Race:
 class RaceDetector:
     """The constant-memory LastRead/LastWrite detector."""
 
-    def __init__(self, hb: HBBackend, report_all_per_location: bool = False):
+    def __init__(
+        self,
+        hb: HBBackend,
+        report_all_per_location: bool = False,
+        obs=None,
+        backend: str = "",
+    ):
         self.hb = hb
         self.report_all_per_location = report_all_per_location
+        self.obs = obs if obs is not None else NULL
+        #: Counter names precomputed so the hot path never builds strings.
+        self._query_counter = f"chc.query.{backend or 'graph'}"
         self.last_read: Dict[Location, Access] = {}
         self.last_write: Dict[Location, Access] = {}
         self.races: List[Race] = []
@@ -76,7 +86,11 @@ class RaceDetector:
         self.chc_queries += 1
         if prior.op_id == current.op_id:
             return False
-        return self.hb.concurrent(prior.op_id, current.op_id)
+        concurrent = self.hb.concurrent(prior.op_id, current.op_id)
+        if self.obs.enabled:
+            self.obs.count(self._query_counter)
+            self.obs.count("chc.hit" if concurrent else "chc.miss")
+        return concurrent
 
     def _report(self, prior: Access, current: Access, kind: str) -> None:
         if (
@@ -85,6 +99,11 @@ class RaceDetector:
         ):
             return
         self._reported_locations.add(current.location)
+        if self.obs.enabled:
+            self.obs.count("race.reported")
+            self.obs.instant(
+                "race", kind=kind, location=current.location.describe()
+            )
         self.races.append(
             Race(location=current.location, prior=prior, current=current, kind=kind)
         )

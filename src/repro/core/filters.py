@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional
 from .access import Access
 from .detector import Race
 from .locations import DomPropLocation, HandlerLocation
+from ..obs import NULL
 from .report import (
     EVENT_DISPATCH,
     FUNCTION,
@@ -95,29 +96,36 @@ DEFAULT_FILTERS: List[RaceFilter] = [form_race_filter, single_dispatch_filter]
 class FilterChain:
     """Applies a list of filters and remembers what each one removed."""
 
-    def __init__(self, filters: Optional[List[RaceFilter]] = None):
+    def __init__(self, filters: Optional[List[RaceFilter]] = None, obs=None):
         self.filters = list(filters) if filters is not None else list(DEFAULT_FILTERS)
+        self.obs = obs if obs is not None else NULL
         self.removed: Dict[str, List[Race]] = {}
 
     def apply(self, races: List[Race], trace: Trace) -> List[Race]:
         """Run every filter over ``races``; returns the survivors."""
         self.removed = {}
-        # Build the access index once up front; the per-race helpers then
-        # answer from it in O(1) (quadratic rescans otherwise dominate on
-        # race-heavy pages).
-        trace.access_index()
-        kept: List[Race] = []
-        for race in races:
-            race_type = classify_race(race)
-            dropped_by = None
-            for race_filter in self.filters:
-                if not race_filter(race, race_type, trace):
-                    dropped_by = getattr(race_filter, "__name__", repr(race_filter))
-                    break
-            if dropped_by is None:
-                kept.append(race)
-            else:
-                self.removed.setdefault(dropped_by, []).append(race)
+        with self.obs.span("filters", cat="pipeline", races=len(races)):
+            # Build the access index once up front; the per-race helpers then
+            # answer from it in O(1) (quadratic rescans otherwise dominate on
+            # race-heavy pages).
+            with self.obs.span("filters.access_index", cat="pipeline"):
+                trace.access_index()
+            kept: List[Race] = []
+            for race in races:
+                race_type = classify_race(race)
+                dropped_by = None
+                for race_filter in self.filters:
+                    if not race_filter(race, race_type, trace):
+                        dropped_by = getattr(race_filter, "__name__", repr(race_filter))
+                        break
+                if dropped_by is None:
+                    kept.append(race)
+                else:
+                    self.removed.setdefault(dropped_by, []).append(race)
+            if self.obs.enabled:
+                self.obs.count("filter.kept", len(kept))
+                for name, dropped in self.removed.items():
+                    self.obs.count("filter.removed." + name, len(dropped))
         return kept
 
     def removed_count(self) -> int:

@@ -21,14 +21,16 @@ from .access import Access
 from .detector import READ_WRITE, WRITE_WRITE, Race
 from .hb.backend import HBBackend
 from .locations import Location
+from ..obs import NULL
 
 
 class FullHistoryDetector:
     """Race detector that remembers every access per location."""
 
-    def __init__(self, hb: HBBackend, dedup_per_location: bool = False):
+    def __init__(self, hb: HBBackend, dedup_per_location: bool = False, obs=None):
         self.hb = hb
         self.dedup_per_location = dedup_per_location
+        self.obs = obs if obs is not None else NULL
         self.history: Dict[Location, List[Access]] = {}
         self.races: List[Race] = []
         self._seen_pairs: Set[Tuple[Location, int, int]] = set()
@@ -45,6 +47,8 @@ class FullHistoryDetector:
             if not (prior.is_write or access.is_write):
                 continue
             self.chc_queries += 1
+            if self.obs.enabled:
+                self.obs.count("chc.query.full_history")
             if not self.hb.concurrent(prior.op_id, access.op_id):
                 continue
             self._report(prior, access)

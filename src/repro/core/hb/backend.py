@@ -60,9 +60,11 @@ class ChainBackedGraph(HBGraph):
     ancestor sets are simply never built.
     """
 
-    def __init__(self, assert_forward: bool = True):
-        super().__init__(assert_forward=assert_forward)
-        self.clocks = IncrementalChainClocks(assert_forward=assert_forward)
+    def __init__(self, assert_forward: bool = True, obs=None):
+        super().__init__(assert_forward=assert_forward, obs=obs)
+        self.clocks = IncrementalChainClocks(
+            assert_forward=assert_forward, obs=self.obs
+        )
 
     def add_operation(self, op_id: int) -> None:
         super().add_operation(op_id)
@@ -87,9 +89,11 @@ class ChainBackedGraph(HBGraph):
 class CrosscheckGraph(HBGraph):
     """Answers every query from both engines and demands they agree."""
 
-    def __init__(self, assert_forward: bool = True):
-        super().__init__(assert_forward=assert_forward)
-        self.clocks = IncrementalChainClocks(assert_forward=assert_forward)
+    def __init__(self, assert_forward: bool = True, obs=None):
+        super().__init__(assert_forward=assert_forward, obs=obs)
+        self.clocks = IncrementalChainClocks(
+            assert_forward=assert_forward, obs=self.obs
+        )
         self.queries_checked = 0
 
     def add_operation(self, op_id: int) -> None:
@@ -123,18 +127,19 @@ class CrosscheckGraph(HBGraph):
         return super().memory_cells() + self.clocks.memory_cells()
 
 
-def make_backend(name: str, assert_forward: bool = True) -> HBGraph:
+def make_backend(name: str, assert_forward: bool = True, obs=None) -> HBGraph:
     """Build the happens-before store selected by ``name``.
 
     Every backend *is* an :class:`HBGraph` (structure included), so
     serialization and rule audits work unchanged regardless of selection.
+    ``obs`` is the instrumentation sink edge/chain counters report to.
     """
     if name == "graph":
-        return HBGraph(assert_forward=assert_forward)
+        return HBGraph(assert_forward=assert_forward, obs=obs)
     if name == "chains":
-        return ChainBackedGraph(assert_forward=assert_forward)
+        return ChainBackedGraph(assert_forward=assert_forward, obs=obs)
     if name == "crosscheck":
-        return CrosscheckGraph(assert_forward=assert_forward)
+        return CrosscheckGraph(assert_forward=assert_forward, obs=obs)
     raise ValueError(
         f"unknown hb backend {name!r}; expected one of {', '.join(HB_BACKENDS)}"
     )

@@ -30,12 +30,15 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ...obs import NULL
+
 
 class IncrementalChainClocks:
     """Chain-decomposed vector clocks maintained online, edge by edge."""
 
-    def __init__(self, assert_forward: bool = True):
+    def __init__(self, assert_forward: bool = True, obs=None):
         self.assert_forward = assert_forward
+        self.obs = obs if obs is not None else NULL
         self._pred: Dict[int, List[int]] = {}
         self._edge_set: Set[Tuple[int, int]] = set()
         #: op -> (chain index, position within chain); presence = finalized.
@@ -113,6 +116,8 @@ class IncrementalChainClocks:
         if assigned is None:
             assigned = self.chain_count
             self.chain_count += 1
+            if self.obs.enabled:
+                self.obs.count("hb.chain_opened")
             position = 0
         else:
             position = self.position[self._chain_tail[assigned]][1] + 1

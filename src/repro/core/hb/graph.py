@@ -20,7 +20,9 @@ fails loudly instead of corrupting reachability.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ...obs import NULL
 
 
 @dataclass(frozen=True)
@@ -35,8 +37,9 @@ class Edge:
 class HBGraph:
     """A DAG over operation ids with cached backward reachability."""
 
-    def __init__(self, assert_forward: bool = True):
+    def __init__(self, assert_forward: bool = True, obs=None):
         self.assert_forward = assert_forward
+        self.obs = obs if obs is not None else NULL
         self._succ: Dict[int, List[int]] = {}
         self._pred: Dict[int, List[int]] = {}
         self._edges: List[Edge] = []
@@ -78,6 +81,8 @@ class HBGraph:
         self._pred[dst].append(src)
         self._edge_set.add((src, dst))
         self._edges.append(Edge(src, dst, rule))
+        if self.obs.enabled:
+            self.obs.count("hb.edge")
         return True
 
     # ------------------------------------------------------------------
@@ -107,6 +112,9 @@ class HBGraph:
                 stack.extend(self._pred.get(node, ()))
         frozen = frozenset(result)
         self._ancestor_cache[op_id] = frozen
+        if self.obs.enabled:
+            self.obs.count("hb.ancestor_freeze")
+            self.obs.observe("hb.ancestor_set_size", len(frozen))
         return frozen
 
     def happens_before(self, a: int, b: int) -> bool:

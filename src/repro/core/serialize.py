@@ -23,6 +23,7 @@ from .access import Access
 from .detector import RaceDetector
 from .filters import FilterChain
 from .full_detector import FullHistoryDetector
+from .hb.backend import make_backend
 from .hb.graph import HBGraph
 from .locations import (
     CollectionLocation,
@@ -165,9 +166,10 @@ def _jsonable_meta(meta: Dict[str, Any]) -> Dict[str, Any]:
 class LoadedTrace:
     """A trace + graph reconstructed from serialized form."""
 
-    def __init__(self, trace: Trace, graph: HBGraph):
+    def __init__(self, trace: Trace, graph: HBGraph, hb_backend: str = "graph"):
         self.trace = trace
         self.graph = graph
+        self.hb_backend = hb_backend
 
     def detect(self, full_history: bool = False):
         """Replay all accesses through a fresh detector; returns it."""
@@ -189,8 +191,14 @@ class LoadedTrace:
         return build_report(races, self.trace)
 
 
-def trace_from_dict(data: Dict[str, Any]) -> LoadedTrace:
-    """Reconstruct a :class:`LoadedTrace` from :func:`trace_to_dict` output."""
+def trace_from_dict(data: Dict[str, Any], hb_backend: str = "graph") -> LoadedTrace:
+    """Reconstruct a :class:`LoadedTrace` from :func:`trace_to_dict` output.
+
+    ``hb_backend`` selects the happens-before representation that answers
+    CHC queries during re-detection (``graph``, ``chains`` or
+    ``crosscheck``), so captured traces can be re-checked under either
+    representation.
+    """
     version = data.get("version")
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported trace format version {version!r}")
@@ -198,7 +206,7 @@ def trace_from_dict(data: Dict[str, Any]) -> LoadedTrace:
     for op_data in data["operations"]:
         trace.operations.operations[op_data["op_id"]] = _make_operation(op_data)
         trace.operations._next = max(trace.operations._next, op_data["op_id"] + 1)
-    graph = HBGraph(assert_forward=False)
+    graph = make_backend(hb_backend, assert_forward=False)
     for op_id in trace.operations.operations:
         graph.add_operation(op_id)
     for edge in data["edges"]:
@@ -216,7 +224,7 @@ def trace_from_dict(data: Dict[str, Any]) -> LoadedTrace:
         )
     for crash_data in data["crashes"]:
         trace.record_crash(_LoadedCrash(crash_data))
-    return LoadedTrace(trace, graph)
+    return LoadedTrace(trace, graph, hb_backend=hb_backend)
 
 
 def _make_operation(op_data: Dict[str, Any]):
@@ -255,10 +263,10 @@ def dump_trace(trace: Trace, graph: HBGraph, path: str) -> None:
         json.dump(trace_to_dict(trace, graph), handle)
 
 
-def load_trace(path: str) -> LoadedTrace:
+def load_trace(path: str, hb_backend: str = "graph") -> LoadedTrace:
     """Read a trace file written by :func:`dump_trace`."""
     with open(path) as handle:
-        return trace_from_dict(json.load(handle))
+        return trace_from_dict(json.load(handle), hb_backend=hb_backend)
 
 
 def dumps_trace(trace: Trace, graph: HBGraph) -> str:
@@ -266,6 +274,6 @@ def dumps_trace(trace: Trace, graph: HBGraph) -> str:
     return json.dumps(trace_to_dict(trace, graph))
 
 
-def loads_trace(text: str) -> LoadedTrace:
+def loads_trace(text: str, hb_backend: str = "graph") -> LoadedTrace:
     """Load a trace from a JSON string."""
-    return trace_from_dict(json.loads(text))
+    return trace_from_dict(json.loads(text), hb_backend=hb_backend)

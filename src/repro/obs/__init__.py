@@ -1,0 +1,52 @@
+"""Pipeline-wide tracing and metrics (``repro.obs``).
+
+The paper reports WebRacer's runtime overhead as "barely noticeable"
+(Section 6) but gives no per-phase breakdown; this package is the
+reproduction's answer to "where does a check spend its time?".  It
+provides three primitives —
+
+* **spans**: context-manager timers with parent nesting and self-time
+  accounting (``with obs.span("parse"): ...``),
+* **counters**: monotonically increasing named integers
+  (``obs.count("access.read")``),
+* **histograms**: value aggregates (``obs.observe("latency", 3.2)``) —
+
+and two exporters: a Chrome trace-event JSON file (loadable in
+``chrome://tracing`` / Perfetto) and a plain-text/JSON stats summary.
+
+One :class:`Instrumentation` object is threaded through
+``WebRacer → Browser → Monitor → detector/filters`` exactly the way
+``hb_backend`` is.  The default sink is :data:`NULL`, a
+:class:`NullInstrumentation` whose every hook is a constant no-op — the
+zero-overhead contract the disabled-mode benchmark pins down
+(``benchmarks/test_obs_overhead.py``).
+"""
+
+from .core import (
+    NULL,
+    Histogram,
+    Instrumentation,
+    NullInstrumentation,
+    Span,
+    SpanStat,
+)
+from .stats import render_profile, stats_dict
+from .trace_event import (
+    to_trace_events,
+    validate_trace_events,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "NULL",
+    "Histogram",
+    "Instrumentation",
+    "NullInstrumentation",
+    "Span",
+    "SpanStat",
+    "render_profile",
+    "stats_dict",
+    "to_trace_events",
+    "validate_trace_events",
+    "write_chrome_trace",
+]

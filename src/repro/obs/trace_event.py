@@ -1,0 +1,146 @@
+"""Chrome trace-event export for :class:`~repro.obs.core.Instrumentation`.
+
+Produces the JSON Object Format of the Trace Event specification, loadable
+in ``chrome://tracing`` and https://ui.perfetto.dev: finished spans become
+complete events (``ph: "X"`` with ``ts``/``dur`` in microseconds), instants
+become ``ph: "i"``, counters become one final ``ph: "C"`` sample each, and
+a pair of metadata events names the process/thread.
+
+:func:`validate_trace_events` is the schema the tests (and CI) hold every
+export to: required keys on every event, non-negative durations, and
+properly nested (balanced) complete events.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .core import Instrumentation
+
+#: Keys every emitted event must carry.
+REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def to_trace_events(obs: Instrumentation) -> List[Dict[str, Any]]:
+    """All trace events for one instrumentation, in timestamp order."""
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "webracer"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "event-loop"},
+        },
+    ]
+    last_ts = 0.0
+    for record in obs.events:
+        args = dict(record.args)
+        if record.scope:
+            args["scope"] = record.scope
+        event: Dict[str, Any] = {
+            "name": record.name,
+            "cat": record.category or "default",
+            "ts": round(record.start, 3),
+            "pid": 0,
+            "tid": 0,
+            "args": args,
+        }
+        if record.duration is None:
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = round(record.duration, 3)
+        last_ts = max(last_ts, record.start + (record.duration or 0.0))
+        events.append(event)
+    for name, value in sorted(obs.counter_totals().items()):
+        events.append(
+            {
+                "name": name,
+                "cat": "counter",
+                "ph": "C",
+                "ts": round(last_ts, 3),
+                "pid": 0,
+                "tid": 0,
+                "args": {"value": value},
+            }
+        )
+    # Spans are recorded in completion order; the viewer wants begin order.
+    events.sort(key=lambda event: event["ts"])
+    return events
+
+
+def to_chrome_trace(obs: Instrumentation) -> Dict[str, Any]:
+    """The full JSON-object-format document."""
+    return {
+        "traceEvents": to_trace_events(obs),
+        "displayTimeUnit": "ms",
+        "otherData": {"tool": "webracer-repro", "dropped_events": obs.dropped_events},
+    }
+
+
+def write_chrome_trace(obs: Instrumentation, path: str) -> None:
+    """Write the trace-event file (open it in chrome://tracing / Perfetto)."""
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(obs), handle)
+
+
+def validate_trace_events(events: List[Dict[str, Any]]) -> None:
+    """Raise ``ValueError`` on any schema violation.
+
+    Checks: required keys present, durations non-negative, and complete
+    ("X") events properly nested per (pid, tid) — treating each complete
+    event as a [ts, ts+dur] interval, intervals on one thread must form a
+    balanced hierarchy (no partial overlap).
+    """
+    for index, event in enumerate(events):
+        for key in REQUIRED_KEYS:
+            if key not in event:
+                raise ValueError(f"event {index} missing {key!r}: {event!r}")
+        if event["ph"] == "X":
+            duration = event.get("dur")
+            if duration is None:
+                raise ValueError(f"complete event {index} missing dur: {event!r}")
+            if duration < 0:
+                raise ValueError(f"event {index} has negative dur: {event!r}")
+        if event["ts"] < 0:
+            raise ValueError(f"event {index} has negative ts: {event!r}")
+
+    by_thread: Dict[Any, List[Dict[str, Any]]] = {}
+    for event in events:
+        if event["ph"] == "X":
+            by_thread.setdefault((event["pid"], event["tid"]), []).append(event)
+    for thread, spans in by_thread.items():
+        # Sort outermost-first at equal start times, then sweep a stack.
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack: List[Dict[str, Any]] = []
+        for span in spans:
+            while stack and span["ts"] >= stack[-1]["ts"] + stack[-1]["dur"]:
+                stack.pop()
+            if stack:
+                parent = stack[-1]
+                if span["ts"] + span["dur"] > parent["ts"] + parent["dur"] + 1e-6:
+                    raise ValueError(
+                        f"unbalanced nesting on thread {thread}: "
+                        f"{span['name']!r} overlaps {parent['name']!r} partially"
+                    )
+            stack.append(span)
+
+
+def validate_trace_file(path: str) -> List[Dict[str, Any]]:
+    """Load a trace file and validate it; returns its events."""
+    with open(path) as handle:
+        data = json.load(handle)
+    events = data["traceEvents"] if isinstance(data, dict) else data
+    validate_trace_events(events)
+    return events

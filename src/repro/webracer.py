@@ -34,6 +34,7 @@ from .core.report import (
     build_report,
 )
 from .core.trace import Trace
+from .obs import NULL
 
 
 @dataclass
@@ -163,6 +164,7 @@ class WebRacer:
         max_latency: float = 120.0,
         max_run_ms: Optional[float] = None,
         hb_backend: str = "graph",
+        obs=None,
     ):
         self.seed = seed
         self.scheduler = scheduler
@@ -175,6 +177,9 @@ class WebRacer:
         self.max_latency = max_latency
         self.max_run_ms = max_run_ms
         self.hb_backend = hb_backend
+        #: Observability sink threaded through Browser → Monitor →
+        #: detector/filters; the default null sink records nothing.
+        self.obs = obs if obs is not None else NULL
 
     # ------------------------------------------------------------------
 
@@ -195,6 +200,7 @@ class WebRacer:
             full_history=self.full_history,
             report_all_per_location=self.report_all_per_location,
             hb_backend=self.hb_backend,
+            obs=self.obs,
         )
 
     def check_page(
@@ -206,27 +212,35 @@ class WebRacer:
         seed: Optional[int] = None,
     ) -> PageReport:
         """Load ``html``, explore, detect, filter, classify."""
-        browser = self.make_browser(resources, latencies, seed=seed)
-        page = browser.open(html, url=url)
-        page.auto_explore = self.explore
-        page.eager_explore = self.eager
-        page.run(max_ms=self.max_run_ms)
-        return self.report_for(page, url)
+        with self.obs.span("check_page", cat="pipeline", url=url):
+            browser = self.make_browser(resources, latencies, seed=seed)
+            page = browser.open(html, url=url)
+            page.auto_explore = self.explore
+            page.eager_explore = self.eager
+            page.run(max_ms=self.max_run_ms)
+            return self.report_for(page, url)
 
     def report_for(self, page: Page, url: str = "page.html") -> PageReport:
         """Build a :class:`PageReport` from an already-run page."""
         raw_races = list(page.races)
         if self.apply_filters:
-            filtered = FilterChain().apply(raw_races, page.trace)
+            filtered = FilterChain(obs=self.obs).apply(raw_races, page.trace)
         else:
             filtered = list(raw_races)
+        with self.obs.span("classify", cat="pipeline", races=len(raw_races)):
+            classified = build_report(filtered, page.trace)
+            raw_classified = build_report(raw_races, page.trace)
+        if self.obs.enabled:
+            self.obs.count("races.raw", len(raw_races))
+            self.obs.count("races.filtered", len(filtered))
+            self.obs.count("races.harmful", len(classified.harmful()))
         return PageReport(
             url=url,
             page=page,
             raw_races=raw_races,
             filtered_races=filtered,
-            classified=build_report(filtered, page.trace),
-            raw_classified=build_report(raw_races, page.trace),
+            classified=classified,
+            raw_classified=raw_classified,
         )
 
     def check_site(self, site, seed: Optional[int] = None) -> PageReport:
@@ -240,9 +254,14 @@ class WebRacer:
         )
 
     def check_corpus(self, sites, seed: Optional[int] = None) -> CorpusReport:
-        """Run WebRacer over a corpus of generated sites."""
+        """Run WebRacer over a corpus of generated sites.
+
+        Each site runs inside its own instrumentation scope, so profiled
+        corpus runs yield per-site phase timings and counters.
+        """
         report = CorpusReport()
         for index, site in enumerate(sites):
             site_seed = (self.seed if seed is None else seed) + index * 101
-            report.reports.append(self.check_site(site, seed=site_seed))
+            with self.obs.scope(site.name):
+                report.reports.append(self.check_site(site, seed=site_seed))
         return report

@@ -1,0 +1,133 @@
+"""Chrome trace-event export: schema and validation tests."""
+
+import json
+
+import pytest
+
+from repro.obs import Instrumentation, to_trace_events, write_chrome_trace
+from repro.obs.trace_event import (
+    REQUIRED_KEYS,
+    to_chrome_trace,
+    validate_trace_events,
+    validate_trace_file,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def tick(self, seconds):
+        self.t += seconds
+
+
+@pytest.fixture
+def populated():
+    clock = FakeClock()
+    obs = Instrumentation(clock=clock)
+    with obs.span("outer", cat="pipeline", url="x.html"):
+        clock.tick(0.001)
+        with obs.span("inner", cat="js"):
+            clock.tick(0.002)
+        obs.instant("race", kind="variable")
+        clock.tick(0.001)
+    obs.count("chc.query.graph", 7)
+    return obs
+
+
+class TestSchema:
+    def test_every_event_has_required_keys(self, populated):
+        events = to_trace_events(populated)
+        for event in events:
+            for key in REQUIRED_KEYS:
+                assert key in event, f"{event} missing {key}"
+
+    def test_durations_non_negative(self, populated):
+        for event in to_trace_events(populated):
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+            assert event["ts"] >= 0
+
+    def test_phase_mix(self, populated):
+        phases = {event["ph"] for event in to_trace_events(populated)}
+        assert phases == {"M", "X", "i", "C"}
+
+    def test_span_events_carry_args_and_scope(self):
+        clock = FakeClock()
+        obs = Instrumentation(clock=clock)
+        with obs.scope("siteA"):
+            with obs.span("check", cat="pipeline", url="a.html"):
+                clock.tick(0.001)
+        (span_event,) = [e for e in to_trace_events(obs) if e["ph"] == "X"]
+        assert span_event["args"] == {"url": "a.html", "scope": "siteA"}
+        assert span_event["cat"] == "pipeline"
+        assert span_event["dur"] == pytest.approx(1000.0)
+
+    def test_instants_use_thread_scope(self, populated):
+        (instant,) = [e for e in to_trace_events(populated) if e["ph"] == "i"]
+        assert instant["s"] == "t"
+        assert instant["name"] == "race"
+
+    def test_counters_become_counter_events(self, populated):
+        (counter,) = [e for e in to_trace_events(populated) if e["ph"] == "C"]
+        assert counter["name"] == "chc.query.graph"
+        assert counter["args"]["value"] == 7
+
+    def test_events_sorted_by_timestamp(self, populated):
+        timestamps = [event["ts"] for event in to_trace_events(populated)]
+        assert timestamps == sorted(timestamps)
+
+    def test_validator_accepts_own_output(self, populated):
+        validate_trace_events(to_trace_events(populated))
+
+
+class TestValidator:
+    def test_missing_key_rejected(self):
+        with pytest.raises(ValueError, match="missing 'ts'"):
+            validate_trace_events([{"name": "x", "ph": "i", "pid": 0, "tid": 0}])
+
+    def test_negative_duration_rejected(self):
+        event = {"name": "x", "ph": "X", "ts": 0, "dur": -1, "pid": 0, "tid": 0}
+        with pytest.raises(ValueError, match="negative dur"):
+            validate_trace_events([event])
+
+    def test_complete_event_requires_dur(self):
+        event = {"name": "x", "ph": "X", "ts": 0, "pid": 0, "tid": 0}
+        with pytest.raises(ValueError, match="missing dur"):
+            validate_trace_events([event])
+
+    def test_partial_overlap_rejected(self):
+        events = [
+            {"name": "a", "ph": "X", "ts": 0, "dur": 10, "pid": 0, "tid": 0},
+            {"name": "b", "ph": "X", "ts": 5, "dur": 10, "pid": 0, "tid": 0},
+        ]
+        with pytest.raises(ValueError, match="unbalanced nesting"):
+            validate_trace_events(events)
+
+    def test_proper_nesting_accepted(self):
+        events = [
+            {"name": "a", "ph": "X", "ts": 0, "dur": 10, "pid": 0, "tid": 0},
+            {"name": "b", "ph": "X", "ts": 2, "dur": 5, "pid": 0, "tid": 0},
+            {"name": "c", "ph": "X", "ts": 12, "dur": 3, "pid": 0, "tid": 0},
+        ]
+        validate_trace_events(events)
+
+
+class TestFileRoundTrip:
+    def test_write_and_validate(self, populated, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(populated, str(path))
+        events = validate_trace_file(str(path))
+        assert events  # non-empty
+
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert document["otherData"]["tool"] == "webracer-repro"
+
+    def test_document_shape(self, populated):
+        document = to_chrome_trace(populated)
+        assert set(document) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert document["otherData"]["dropped_events"] == 0
