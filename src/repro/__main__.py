@@ -16,7 +16,14 @@ Commands
 ``analyze TRACE.json``
     Re-run detection, filtering and classification on a captured trace.
 
-All three commands accept ``--hb-backend {graph,chains,crosscheck}`` to
+``explain TRACE.json [--race N] [--no-filters]``
+    Load a captured trace (written by ``check --json``) and print the full
+    HB evidence for one race (``--race N``, report order) or for all races:
+    classification + harmfulness reason, stable fingerprint, the nearest
+    common happens-before ancestor, and the rule-labeled edge chain
+    ordering each side under it.
+
+All commands accept ``--hb-backend {graph,chains,crosscheck}`` to
 select the happens-before representation answering CHC queries: the
 paper's graph with frozen ancestor sets (default), incremental chain
 vector clocks, or both cross-checked against each other (slow; raises on
@@ -32,8 +39,19 @@ any disagreement).
     Write phase timings, counters and race totals as JSON (per-site for
     ``corpus`` runs).
 
-Profiling never changes detection results: the instrumentation layer only
-observes, so a profiled run reports byte-identical races.
+and the race-report flags:
+
+``--report-json FILE``
+    Write a schema-validated race report with full HB evidence per race
+    (see ``repro.explain.schema.REPORT_SCHEMA``).
+``--report-html FILE``
+    Write a self-contained single-file HTML report (no external assets)
+    with per-race evidence views and operation-lane timelines; corpus runs
+    aggregate per-site with a cross-site fingerprint-cluster table.
+
+Profiling and report generation never change detection results: both only
+observe structures the run already produced, so a flagged run reports
+byte-identical races.
 """
 
 from __future__ import annotations
@@ -64,6 +82,28 @@ def _make_obs(args) -> Optional[Instrumentation]:
     if args.profile or args.trace_out or args.stats_json:
         return Instrumentation()
     return None
+
+
+def _emit_reports(args, page_reports, obs, mode: str) -> None:
+    """Write --report-json / --report-html outputs when requested.
+
+    ``page_reports`` is a list of ``(url, PageReport)`` pairs.  Evidence is
+    built from the run's existing trace + HB store, strictly after
+    detection, so flagged runs report byte-identical races.
+    """
+    if not (args.report_json or args.report_html):
+        return
+    from .explain import build_report_document, write_html_report, write_report_json
+
+    document = build_report_document(
+        page_reports, hb_backend=args.hb_backend, mode=mode, obs=obs
+    )
+    if args.report_json:
+        write_report_json(document, args.report_json)
+        print(f"race report (JSON) written to {args.report_json}")
+    if args.report_html:
+        write_html_report(document, args.report_html)
+        print(f"race report (HTML) written to {args.report_html}")
 
 
 def _emit_profile(args, obs: Optional[Instrumentation], extra=None) -> None:
@@ -101,6 +141,7 @@ def cmd_check(args) -> int:
     if args.json:
         dump_trace(report.trace, report.page.monitor.graph, args.json)
         print(f"trace written to {args.json}")
+    _emit_reports(args, [(args.page, report)], obs, mode="check")
     _emit_profile(
         args,
         obs,
@@ -138,6 +179,17 @@ def _corpus_tables_dict(corpus_report, full_run: bool):
             race_type: {"count": count, "harmful": harmful}
             for race_type, (count, harmful) in corpus_report.table2_totals().items()
         },
+        # Per-type harmful counts for the *unfiltered* view, so the
+        # machine-readable Table 1 carries the harmfulness information the
+        # text report shows for Table 2.
+        "table1_harmful": corpus_report.raw_harmful_totals(),
+        "harmful_by_type": {
+            race_type: harmful
+            for race_type, (_count, harmful)
+            in corpus_report.table2_totals().items()
+        },
+        # How many races each Section 5.3 filter suppressed, corpus-wide.
+        "filters_removed": corpus_report.filters_removed_totals(),
         "sites_with_races": corpus_report.sites_with_filtered_races(),
     }
     if full_run:
@@ -202,6 +254,12 @@ def cmd_corpus(args) -> int:
         with open(args.json, "w") as handle:
             json.dump(_corpus_tables_dict(corpus_report, full_run), handle, indent=2)
         print(f"tables written to {args.json}")
+    _emit_reports(
+        args,
+        [(r.url, r) for r in corpus_report.reports],
+        obs,
+        mode="corpus",
+    )
     _emit_profile(args, obs, extra={"sites": _per_site_stats(corpus_report)})
     return 0
 
@@ -213,6 +271,30 @@ def cmd_analyze(args) -> int:
     print(f"{args.trace}: {len(loaded.trace.accesses)} accesses, "
           f"{len(loaded.trace.operations.operations)} operations")
     print(render_race_report(report, title=report.summary()))
+    return 1 if report.harmful() else 0
+
+
+def cmd_explain(args) -> int:
+    """Print HB evidence for races in a captured trace (`explain`)."""
+    from .explain import render_all_evidence, render_evidence
+
+    loaded = load_trace(args.trace, hb_backend=args.hb_backend)
+    report, records = loaded.explain(apply_filters=not args.no_filters)
+    print(
+        f"{args.trace}: {len(loaded.trace.accesses)} accesses, "
+        f"{len(loaded.trace.operations.operations)} operations, "
+        f"{report.total()} races"
+    )
+    if args.race is not None:
+        if not 0 <= args.race < len(records):
+            print(
+                f"no race #{args.race}; trace has {len(records)} race(s)",
+                file=sys.stderr,
+            )
+            return 2
+        print(render_evidence(records[args.race], args.race))
+    else:
+        print(render_all_evidence(records))
     return 1 if report.harmful() else 0
 
 
@@ -230,6 +312,15 @@ def _add_profiling(parser: argparse.ArgumentParser) -> None:
                         help="write phase timings and counters as JSON")
 
 
+def _add_reports(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--report-json", metavar="FILE",
+                        help="write a schema-validated race report with "
+                             "per-race HB evidence")
+    parser.add_argument("--report-html", metavar="FILE",
+                        help="write a self-contained single-file HTML race "
+                             "report")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -245,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--json", help="dump the trace to this file")
     _add_hb_backend(check)
     _add_profiling(check)
+    _add_reports(check)
     check.set_defaults(func=cmd_check)
 
     corpus = sub.add_parser("corpus", help="run the Fortune-100 evaluation")
@@ -254,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write Table 1 / Table 2 / totals as JSON")
     _add_hb_backend(corpus)
     _add_profiling(corpus)
+    _add_reports(corpus)
     corpus.set_defaults(func=cmd_corpus)
 
     analyze = sub.add_parser("analyze", help="analyse a captured trace")
@@ -261,6 +354,16 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--no-filters", action="store_true")
     _add_hb_backend(analyze)
     analyze.set_defaults(func=cmd_analyze)
+
+    explain = sub.add_parser(
+        "explain", help="print HB evidence for races in a captured trace"
+    )
+    explain.add_argument("trace", help="path to a trace JSON file")
+    explain.add_argument("--race", type=int, metavar="N",
+                         help="explain only race #N (report order)")
+    explain.add_argument("--no-filters", action="store_true")
+    _add_hb_backend(explain)
+    explain.set_defaults(func=cmd_explain)
     return parser
 
 

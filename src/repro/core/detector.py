@@ -83,9 +83,11 @@ class RaceDetector:
         """CHC with ⊥ handling: an empty slot can never race."""
         if prior is None:
             return False
-        self.chc_queries += 1
         if prior.op_id == current.op_id:
+            # Same-operation pairs are settled without consulting the HB
+            # relation, so they must not count toward the E9 query metric.
             return False
+        self.chc_queries += 1
         concurrent = self.hb.concurrent(prior.op_id, current.op_id)
         if self.obs.enabled:
             self.obs.count(self._query_counter)

@@ -132,6 +132,21 @@ class FilterChain:
         """How many races the chain removed in the last apply()."""
         return sum(len(races) for races in self.removed.values())
 
+    def removed_counts(self) -> Dict[str, int]:
+        """Per-filter suppression tally of the last apply().
+
+        Every configured filter appears in the result, including those
+        that removed nothing — so machine-readable corpus output always
+        carries the full filter inventory.
+        """
+        counts = {
+            getattr(race_filter, "__name__", repr(race_filter)): 0
+            for race_filter in self.filters
+        }
+        for name, dropped in self.removed.items():
+            counts[name] = len(dropped)
+        return counts
+
 
 def apply_default_filters(races: List[Race], trace: Trace) -> List[Race]:
     """Convenience: run the paper's two filters over ``races``."""

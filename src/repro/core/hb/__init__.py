@@ -12,6 +12,13 @@ from .chains import IncrementalChainClocks
 from .graph import Edge, HBGraph, chc, transitive_closure_pairs
 from .rules import ALL_RULES, RuleEngine
 from .vector_clock import ChainVectorClocks
+from .witness import (
+    RaceWitness,
+    WitnessStep,
+    hb_path,
+    nearest_common_ancestor,
+    race_witness,
+)
 
 __all__ = [
     "ALL_RULES",
@@ -24,8 +31,13 @@ __all__ = [
     "HBGraph",
     "HB_BACKENDS",
     "IncrementalChainClocks",
+    "RaceWitness",
     "RuleEngine",
+    "WitnessStep",
     "chc",
+    "hb_path",
     "make_backend",
+    "nearest_common_ancestor",
+    "race_witness",
     "transitive_closure_pairs",
 ]

@@ -22,7 +22,7 @@ experiment code never care which one is live.
 
 from __future__ import annotations
 
-from typing import List, Protocol, runtime_checkable
+from typing import List, Optional, Protocol, runtime_checkable
 
 from .chains import IncrementalChainClocks
 from .graph import HBGraph
@@ -32,7 +32,13 @@ HB_BACKENDS = ("graph", "chains", "crosscheck")
 
 @runtime_checkable
 class HBBackend(Protocol):
-    """What detectors and experiments require of a happens-before store."""
+    """What detectors and experiments require of a happens-before store.
+
+    ``predecessors``/``edge_rule`` are the witness-query surface
+    (:mod:`repro.core.hb.witness`): enough rule-labeled edge provenance to
+    reconstruct the HB ancestry evidence behind a race report.  Both the
+    graph and the standalone chain clocks retain it.
+    """
 
     def add_operation(self, op_id: int) -> None: ...
 
@@ -45,6 +51,10 @@ class HBBackend(Protocol):
     def chc(self, a: int, b: int) -> bool: ...
 
     def memory_cells(self) -> int: ...
+
+    def predecessors(self, op_id: int) -> List[int]: ...
+
+    def edge_rule(self, src: int, dst: int) -> Optional[str]: ...
 
 
 class BackendDisagreement(AssertionError):

@@ -40,7 +40,10 @@ class IncrementalChainClocks:
         self.assert_forward = assert_forward
         self.obs = obs if obs is not None else NULL
         self._pred: Dict[int, List[int]] = {}
-        self._edge_set: Set[Tuple[int, int]] = set()
+        #: (src, dst) -> rule label; doubles as the edge-membership set and
+        #: keeps enough provenance for witness-path queries (see
+        #: :mod:`repro.core.hb.witness`) without the full graph structure.
+        self._edge_rules: Dict[Tuple[int, int], str] = {}
         #: op -> (chain index, position within chain); presence = finalized.
         self.position: Dict[int, Tuple[int, int]] = {}
         #: op -> {chain index -> max covered position} (finalized ops only).
@@ -75,9 +78,9 @@ class IncrementalChainClocks:
                 f"{dst}'s clock was finalized; incoming edges must precede "
                 "execution"
             )
-        if (src, dst) in self._edge_set:
+        if (src, dst) in self._edge_rules:
             return False
-        self._edge_set.add((src, dst))
+        self._edge_rules[(src, dst)] = rule
         self._pred.setdefault(src, [])
         self._pred.setdefault(dst, []).append(src)
         return True
@@ -188,6 +191,14 @@ class IncrementalChainClocks:
     def operation_ids(self) -> List[int]:
         """All registered operation ids, sorted."""
         return sorted(self._pred.keys())
+
+    def predecessors(self, op_id: int) -> List[int]:
+        """Direct HB predecessors of an operation (witness queries)."""
+        return list(self._pred.get(op_id, ()))
+
+    def edge_rule(self, src: int, dst: int) -> Optional[str]:
+        """The rule that introduced the direct edge ``src ≺ dst``, if any."""
+        return self._edge_rules.get((src, dst))
 
     def memory_cells(self) -> int:
         """Total clock entries — the representation's memory footprint."""

@@ -43,7 +43,8 @@ class HBGraph:
         self._succ: Dict[int, List[int]] = {}
         self._pred: Dict[int, List[int]] = {}
         self._edges: List[Edge] = []
-        self._edge_set: Set[Tuple[int, int]] = set()
+        #: (src, dst) -> rule label; doubles as the edge-membership set.
+        self._edge_rules: Dict[Tuple[int, int], str] = {}
         self._ancestor_cache: Dict[int, FrozenSet[int]] = {}
 
     # ------------------------------------------------------------------
@@ -73,13 +74,13 @@ class HBGraph:
                 f"edge {src} -> {dst} (rule {rule!r}) added after operation "
                 f"{dst} was queried; incoming edges must precede execution"
             )
-        if (src, dst) in self._edge_set:
+        if (src, dst) in self._edge_rules:
             return False
         self.add_operation(src)
         self.add_operation(dst)
         self._succ[src].append(dst)
         self._pred[dst].append(src)
-        self._edge_set.add((src, dst))
+        self._edge_rules[(src, dst)] = rule
         self._edges.append(Edge(src, dst, rule))
         if self.obs.enabled:
             self.obs.count("hb.edge")
@@ -155,6 +156,15 @@ class HBGraph:
     def edges_by_rule(self, rule: str) -> List[Edge]:
         """Edges introduced by one named rule."""
         return [edge for edge in self._edges if edge.rule == rule]
+
+    def edge_rule(self, src: int, dst: int) -> Optional[str]:
+        """The rule that introduced the direct edge ``src ≺ dst``.
+
+        Returns ``None`` when no such direct edge exists.  Witness-path
+        queries (:mod:`repro.core.hb.witness`) use this to annotate each
+        step of an HB ancestry chain with its paper rule.
+        """
+        return self._edge_rules.get((src, dst))
 
     def operation_ids(self) -> List[int]:
         """All registered operation ids, sorted."""

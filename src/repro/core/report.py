@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from .access import Access
 from .detector import Race
@@ -78,6 +78,10 @@ class ClassifiedRace:
     race_type: str
     harmful: bool
     reason: str = ""
+    #: Structured provenance (a :class:`repro.explain.RaceEvidence`),
+    #: attached on demand by the explanation layer; ``None`` otherwise so
+    #: detection-only runs pay nothing for it.
+    evidence: Optional[Any] = None
 
     @property
     def location(self):

@@ -190,6 +190,21 @@ class LoadedTrace:
             races = FilterChain().apply(races, self.trace)
         return build_report(races, self.trace)
 
+    def explain(self, apply_filters: bool = True):
+        """Re-detect and attach HB evidence to every race.
+
+        Returns ``(report, evidence_records)`` — the classified
+        :class:`RaceReport` with a :class:`repro.explain.RaceEvidence`
+        attached to each race, plus the record list in report order.  The
+        loaded graph retains rule labels, so witness paths from a captured
+        trace are as precise as from a live run.
+        """
+        from ..explain import attach_evidence
+
+        report = self.report(apply_filters=apply_filters)
+        records = attach_evidence(report, self.trace, self.graph)
+        return report, records
+
 
 def trace_from_dict(data: Dict[str, Any], hb_backend: str = "graph") -> LoadedTrace:
     """Reconstruct a :class:`LoadedTrace` from :func:`trace_to_dict` output.

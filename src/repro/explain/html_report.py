@@ -1,0 +1,254 @@
+"""Self-contained single-file HTML race report (``--report-html``).
+
+Renders the validated ``--report-json`` document (one source of truth for
+both formats) into a dependency-free HTML file: no external scripts,
+stylesheets, fonts or images — everything is inline, so the file can be
+attached to a bug report and opened anywhere.  Each race gets an evidence
+card (classification, harmfulness reason, the rule-labeled HB ancestry of
+both sides up from their nearest common ancestor) and an operation-lane
+timeline (inline SVG) of the accesses around the racing pair.  Corpus runs
+aggregate per-site sections under a cross-site fingerprint-cluster table.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict, List
+
+_CSS = """
+body { font-family: ui-sans-serif, system-ui, sans-serif; margin: 2rem;
+       color: #1a1c23; background: #fff; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.15rem; margin-top: 2rem; }
+code, .mono { font-family: ui-monospace, monospace; font-size: 0.85rem; }
+table { border-collapse: collapse; margin: 0.75rem 0; }
+th, td { border: 1px solid #d4d7dd; padding: 0.3rem 0.6rem;
+         text-align: left; font-size: 0.85rem; }
+th { background: #f0f2f5; }
+.race { border: 1px solid #d4d7dd; border-radius: 6px; margin: 1rem 0;
+        padding: 0.75rem 1rem; }
+.race.harmful { border-color: #c0392b; }
+.badge { display: inline-block; border-radius: 4px; padding: 0.1rem 0.45rem;
+         font-size: 0.75rem; font-weight: 600; margin-right: 0.4rem; }
+.badge.harmful { background: #c0392b; color: #fff; }
+.badge.benign { background: #e5e8ec; color: #444; }
+.badge.type { background: #2c5f8a; color: #fff; }
+.fp { color: #777; font-size: 0.75rem; }
+.sides { display: flex; gap: 1.5rem; flex-wrap: wrap; }
+.side { flex: 1 1 18rem; background: #f8f9fb; border-radius: 6px;
+        padding: 0.5rem 0.75rem; }
+.side h4 { margin: 0.2rem 0; font-size: 0.9rem; }
+.path { margin: 0.3rem 0 0.3rem 0; padding-left: 1.1rem; }
+.path li { font-size: 0.8rem; margin: 0.15rem 0; }
+.rule { color: #2c5f8a; font-weight: 600; }
+.explanation { background: #fdf6e3; border-radius: 6px;
+               padding: 0.5rem 0.75rem; font-size: 0.85rem; }
+.timeline { margin-top: 0.6rem; }
+svg text { font-family: ui-monospace, monospace; }
+details > summary { cursor: pointer; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _badges(evidence: Dict[str, Any]) -> str:
+    verdict = "harmful" if evidence["harmful"] else "benign"
+    return (
+        f'<span class="badge type">{_esc(evidence["race_type"])}</span>'
+        f'<span class="badge {verdict}">{verdict.upper()}</span>'
+        f'<span class="badge benign">{_esc(evidence["kind"])}</span>'
+    )
+
+
+def _path_html(side: Dict[str, Any]) -> str:
+    steps = side["path_from_nca"]
+    if not steps:
+        return "<p class='mono'>no common-ancestor path (disjoint cone)</p>"
+    items = "".join(
+        f"<li><code>{step['src']} &#x227a; {step['dst']}</code> "
+        f"<span class='rule'>[{_esc(step['rule'] or '?')}]</span></li>"
+        for step in steps
+    )
+    return f"<ol class='path'>{items}</ol>"
+
+
+def _timeline_svg(evidence: Dict[str, Any]) -> str:
+    """Operation-lane timeline of accesses around the racing pair."""
+    entries: List[Dict[str, Any]] = []
+    seen = set()
+    for side in (evidence["prior"], evidence["current"]):
+        for entry in side["timeline"]:
+            key = (entry["seq"], entry["op_id"])
+            if key not in seen:
+                seen.add(key)
+                entries.append(entry)
+    if not entries:
+        return ""
+    entries.sort(key=lambda e: e["seq"])
+    lanes = sorted({entry["op_id"] for entry in entries})
+    lane_of = {op: index for index, op in enumerate(lanes)}
+    seqs = [entry["seq"] for entry in entries]
+    lo, hi = min(seqs), max(seqs)
+    span = max(hi - lo, 1)
+    left, lane_h, top = 90, 26, 14
+    width = 620
+    height = top * 2 + lane_h * len(lanes)
+    parts = [
+        f'<svg class="timeline" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" role="img" '
+        'aria-label="operation-lane access timeline">'
+    ]
+    for op, index in lane_of.items():
+        y = top + index * lane_h + lane_h // 2
+        parts.append(
+            f'<line x1="{left}" y1="{y}" x2="{width - 12}" y2="{y}" '
+            'stroke="#d4d7dd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="4" y="{y + 4}" font-size="11" fill="#555">'
+            f"op {op}</text>"
+        )
+    for entry in entries:
+        x = left + (entry["seq"] - lo) / span * (width - left - 30)
+        y = top + lane_of[entry["op_id"]] * lane_h + lane_h // 2
+        racing = entry.get("racing")
+        color = "#c0392b" if racing else "#2c5f8a"
+        if entry["kind"] == "write":
+            parts.append(
+                f'<rect x="{x - 5:.1f}" y="{y - 5}" width="10" height="10" '
+                f'fill="{color}"><title>seq {entry["seq"]}: write by op '
+                f'{entry["op_id"]}</title></rect>'
+            )
+        else:
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y}" r="5" fill="none" '
+                f'stroke="{color}" stroke-width="2">'
+                f'<title>seq {entry["seq"]}: read by op {entry["op_id"]}'
+                "</title></circle>"
+            )
+    parts.append("</svg>")
+    legend = (
+        "<p class='fp'>lanes = operations; squares = writes, circles = "
+        "reads; red = the racing pair; x = trace order (seq)</p>"
+    )
+    return "".join(parts) + legend
+
+
+def _side_html(side: Dict[str, Any]) -> str:
+    access = side["access"]
+    flags = []
+    if access["is_call"]:
+        flags.append("call")
+    if access["is_function_decl"]:
+        flags.append("function-decl")
+    flag_text = f" [{', '.join(flags)}]" if flags else ""
+    return (
+        "<div class='side'>"
+        f"<h4>{_esc(side['role'])}: {_esc(access['kind'])}{flag_text} "
+        f"by op {access['op_id']}</h4>"
+        f"<p class='mono'>{_esc(side['source'])}</p>"
+        f"<p class='fp'>trace seq {access['seq']}</p>"
+        f"{_path_html(side)}"
+        "</div>"
+    )
+
+
+def _race_html(evidence: Dict[str, Any]) -> str:
+    nca = evidence["nca"]
+    if nca is None:
+        nca_text = "none — the two cones share no ancestor"
+    else:
+        nca_text = (
+            f"op {nca['op_id']} "
+            f"({_esc(nca.get('label') or nca.get('kind', '?'))})"
+        )
+    harmful_class = " harmful" if evidence["harmful"] else ""
+    return (
+        f"<div class='race{harmful_class}'>"
+        f"<div>{_badges(evidence)} "
+        f"<code>{_esc(evidence['location']['describe'])}</code> "
+        f"<span class='fp'>fingerprint {_esc(evidence['fingerprint'])}"
+        "</span></div>"
+        f"<p>{_esc(evidence['reason'])}</p>"
+        f"<p class='mono'>nearest common HB ancestor: {nca_text} "
+        f"(common ancestors: {evidence['common_ancestor_count']})</p>"
+        f"<div class='sides'>{_side_html(evidence['prior'])}"
+        f"{_side_html(evidence['current'])}</div>"
+        f"<details><summary>why these can happen concurrently</summary>"
+        f"<p class='explanation'>{_esc(evidence['explanation'])}</p>"
+        "</details>"
+        f"{_timeline_svg(evidence)}"
+        "</div>"
+    )
+
+
+def _clusters_html(clusters: List[Dict[str, Any]]) -> str:
+    if not clusters:
+        return "<p>no races reported.</p>"
+    rows = "".join(
+        "<tr>"
+        f"<td class='mono'>{_esc(cluster['fingerprint'])}</td>"
+        f"<td>{_esc(cluster['race_type'])}</td>"
+        f"<td>{'yes' if cluster['harmful'] else 'no'}</td>"
+        f"<td>{cluster['count']}</td>"
+        f"<td class='mono'>{_esc(cluster.get('location', ''))}</td>"
+        f"<td>{_esc(', '.join(cluster['pages']))}</td>"
+        "</tr>"
+        for cluster in clusters
+    )
+    return (
+        "<table><tr><th>fingerprint</th><th>type</th><th>harmful</th>"
+        "<th>races</th><th>location</th><th>pages</th></tr>"
+        f"{rows}</table>"
+    )
+
+
+def _page_html(page: Dict[str, Any]) -> str:
+    races = page["races"]
+    filters = ", ".join(
+        f"{name}: {count}" for name, count in page["filters_removed"].items()
+    ) or "none configured"
+    body = "".join(_race_html(e) for e in page["evidence"]) or (
+        "<p>no filtered races on this page.</p>"
+    )
+    return (
+        f"<h2>{_esc(page['url'])}</h2>"
+        f"<p>{races['raw']} raw races, {races['filtered']} after filtering, "
+        f"{races['harmful']} harmful &middot; hb backend "
+        f"<code>{_esc(page['hb_backend'])}</code> &middot; filter "
+        f"suppression — {_esc(filters)}</p>"
+        f"{body}"
+    )
+
+
+def render_html_report(document: Dict[str, Any]) -> str:
+    """Render one validated report document to a self-contained HTML page."""
+    totals = document["totals"]
+    pages = document["pages"]
+    title = "WebRacer race report"
+    if len(pages) == 1:
+        title += f" — {pages[0]['url']}"
+    else:
+        title += f" — {len(pages)} sites"
+    sections = "".join(_page_html(page) for page in pages)
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>"
+        f"<h1>{_esc(title)}</h1>"
+        f"<p>mode <code>{_esc(document['mode'])}</code> &middot; "
+        f"hb backend <code>{_esc(document['hb_backend'])}</code> &middot; "
+        f"{totals['races']['filtered']} reported races "
+        f"({totals['races']['harmful']} harmful) &middot; "
+        f"{totals['distinct_fingerprints']} distinct fingerprints</p>"
+        "<h2>Race clusters (deduplicated by fingerprint)</h2>"
+        f"{_clusters_html(document['clusters'])}"
+        f"{sections}"
+        "</body></html>"
+    )
+
+
+def write_html_report(document: Dict[str, Any], path: str) -> None:
+    """Write the HTML report for a validated document."""
+    with open(path, "w") as handle:
+        handle.write(render_html_report(document))

@@ -1,0 +1,62 @@
+"""Plain-text rendering of race evidence (the ``explain`` subcommand)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .evidence import RaceEvidence, SideEvidence
+
+
+def _render_side(side: SideEvidence) -> List[str]:
+    access = side.access
+    flags = []
+    if access["is_call"]:
+        flags.append("call")
+    if access["is_function_decl"]:
+        flags.append("function-decl")
+    flag_text = f" [{', '.join(flags)}]" if flags else ""
+    lines = [
+        f"  {side.role}: {access['kind']}{flag_text} by op "
+        f"{access['op_id']} (seq {access['seq']})",
+        f"    source: {side.source}",
+    ]
+    if side.path_from_nca:
+        lines.append("    ordered under the common ancestor by:")
+        for step in side.path_from_nca:
+            rule = step["rule"] or "?"
+            lines.append(f"      {step['src']} ≺ {step['dst']}  [{rule}]")
+    else:
+        lines.append("    no path from a common ancestor (disjoint cone)")
+    return lines
+
+
+def render_evidence(evidence: RaceEvidence, index: int = 0) -> str:
+    """Multi-line text form of one evidence record."""
+    verdict = "HARMFUL" if evidence.harmful else "benign"
+    lines = [
+        f"race #{index}: [{evidence.race_type}/{verdict}] {evidence.kind} "
+        f"on {evidence.location}",
+        f"  fingerprint: {evidence.fingerprint}",
+        f"  verdict: {evidence.reason}",
+    ]
+    if evidence.nca is None:
+        lines.append("  nearest common HB ancestor: none (disjoint cones)")
+    else:
+        lines.append(
+            f"  nearest common HB ancestor: op {evidence.nca['op_id']} "
+            f"({evidence.nca.get('label') or evidence.nca.get('kind')}) "
+            f"— {evidence.common_ancestor_count} common ancestor(s)"
+        )
+    lines.extend(_render_side(evidence.prior))
+    lines.extend(_render_side(evidence.current))
+    lines.append(f"  why concurrent: {evidence.explanation}")
+    return "\n".join(lines)
+
+
+def render_all_evidence(records: List[RaceEvidence]) -> str:
+    """Text for a list of evidence records, numbered from 0."""
+    if not records:
+        return "no races to explain"
+    return "\n\n".join(
+        render_evidence(record, index) for index, record in enumerate(records)
+    )

@@ -1,0 +1,234 @@
+"""The race-report JSON schema, shipped and enforced.
+
+Like :mod:`repro.obs.trace_event`, the machine-readable race report is a
+contract: :data:`REPORT_SCHEMA` is a JSON-Schema-style document describing
+exactly what ``--report-json`` emits, and :func:`validate_report` enforces
+it without external dependencies (the container has no ``jsonschema``
+package, so a small structural validator covering the subset the schema
+uses — ``type``, ``properties``, ``required``, ``items``, ``enum``,
+``additionalProperties`` — is implemented here).  The CLI validates every
+report before writing it, and the tests validate emitted files end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+FORMAT_NAME = "webracer-race-report"
+FORMAT_VERSION = 1
+
+_WITNESS_STEP = {
+    "type": "object",
+    "required": ["src", "dst", "rule"],
+    "properties": {
+        "src": {"type": "integer"},
+        "dst": {"type": "integer"},
+        "rule": {"type": "string"},
+    },
+}
+
+_TIMELINE_ENTRY = {
+    "type": "object",
+    "required": ["seq", "op_id", "kind", "racing"],
+    "properties": {
+        "seq": {"type": "integer"},
+        "op_id": {"type": "integer"},
+        "kind": {"type": "string", "enum": ["read", "write"]},
+        "racing": {"type": "boolean"},
+    },
+}
+
+_OPERATION = {
+    "type": "object",
+    "required": ["op_id", "kind", "label"],
+    "properties": {
+        "op_id": {"type": "integer"},
+        "kind": {"type": "string"},
+        "label": {"type": "string"},
+        "parent": {"type": ["integer", "null"]},
+        "meta": {"type": "object"},
+    },
+}
+
+_SIDE = {
+    "type": "object",
+    "required": [
+        "role", "access", "operation", "source", "path_from_nca", "timeline",
+    ],
+    "properties": {
+        "role": {"type": "string", "enum": ["prior", "current"]},
+        "access": {
+            "type": "object",
+            "required": ["kind", "op_id", "seq", "is_call", "is_function_decl"],
+            "properties": {
+                "kind": {"type": "string", "enum": ["read", "write"]},
+                "op_id": {"type": "integer"},
+                "seq": {"type": "integer"},
+                "is_call": {"type": "boolean"},
+                "is_function_decl": {"type": "boolean"},
+                "detail": {"type": "object"},
+            },
+        },
+        "operation": _OPERATION,
+        "source": {"type": "string"},
+        "path_from_nca": {"type": "array", "items": _WITNESS_STEP},
+        "timeline": {"type": "array", "items": _TIMELINE_ENTRY},
+    },
+}
+
+_EVIDENCE = {
+    "type": "object",
+    "required": [
+        "fingerprint", "kind", "location", "race_type", "harmful", "reason",
+        "nca", "common_ancestor_count", "prior", "current", "explanation",
+    ],
+    "properties": {
+        "fingerprint": {"type": "string"},
+        "kind": {"type": "string", "enum": ["read-write", "write-write"]},
+        "location": {
+            "type": "object",
+            "required": ["describe", "token", "family"],
+            "properties": {
+                "describe": {"type": "string"},
+                "token": {"type": "string"},
+                "family": {
+                    "type": "string",
+                    "enum": ["jsvar", "helem", "eloc"],
+                },
+            },
+        },
+        "race_type": {
+            "type": "string",
+            "enum": ["variable", "html", "function", "event_dispatch"],
+        },
+        "harmful": {"type": "boolean"},
+        "reason": {"type": "string"},
+        "nca": {"type": ["object", "null"]},
+        "common_ancestor_count": {"type": "integer"},
+        "prior": _SIDE,
+        "current": _SIDE,
+        "explanation": {"type": "string"},
+    },
+}
+
+_COUNTS = {
+    "type": "object",
+    "required": ["raw", "filtered", "harmful"],
+    "properties": {
+        "raw": {"type": "integer"},
+        "filtered": {"type": "integer"},
+        "harmful": {"type": "integer"},
+    },
+}
+
+_PAGE = {
+    "type": "object",
+    "required": ["url", "hb_backend", "races", "filters_removed", "evidence"],
+    "properties": {
+        "url": {"type": "string"},
+        "hb_backend": {"type": "string"},
+        "races": _COUNTS,
+        "filters_removed": {"type": "object"},
+        "evidence": {"type": "array", "items": _EVIDENCE},
+    },
+}
+
+_CLUSTER = {
+    "type": "object",
+    "required": ["fingerprint", "count", "pages", "race_type", "harmful"],
+    "properties": {
+        "fingerprint": {"type": "string"},
+        "count": {"type": "integer"},
+        "pages": {"type": "array", "items": {"type": "string"}},
+        "race_type": {"type": "string"},
+        "harmful": {"type": "boolean"},
+        "location": {"type": "string"},
+    },
+}
+
+REPORT_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "format", "version", "mode", "hb_backend", "pages", "clusters",
+        "totals",
+    ],
+    "properties": {
+        "format": {"type": "string", "enum": [FORMAT_NAME]},
+        "version": {"type": "integer", "enum": [FORMAT_VERSION]},
+        "mode": {"type": "string", "enum": ["check", "corpus", "explain"]},
+        "hb_backend": {"type": "string"},
+        "pages": {"type": "array", "items": _PAGE},
+        "clusters": {"type": "array", "items": _CLUSTER},
+        "totals": {
+            "type": "object",
+            "required": ["races", "evidence_records", "distinct_fingerprints"],
+            "properties": {
+                "races": _COUNTS,
+                "evidence_records": {"type": "integer"},
+                "distinct_fingerprints": {"type": "integer"},
+            },
+        },
+    },
+}
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _check_type(value: Any, expected, path: str) -> None:
+    names = expected if isinstance(expected, list) else [expected]
+    for name in names:
+        python_type = _TYPES[name]
+        if isinstance(value, python_type):
+            # bool is an int subclass; don't let True pass as an integer.
+            if name in ("integer", "number") and isinstance(value, bool):
+                continue
+            return
+    raise ValueError(
+        f"{path}: expected {' or '.join(names)}, "
+        f"got {type(value).__name__} ({value!r})"
+    )
+
+
+def _validate(value: Any, schema: Dict[str, Any], path: str) -> None:
+    if "type" in schema:
+        _check_type(value, schema["type"], path)
+    if "enum" in schema and value not in schema["enum"]:
+        raise ValueError(f"{path}: {value!r} not in {schema['enum']!r}")
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                raise ValueError(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        if schema.get("additionalProperties") is False:
+            extra = set(value) - set(properties)
+            if extra:
+                raise ValueError(f"{path}: unexpected keys {sorted(extra)!r}")
+        for key, sub_schema in properties.items():
+            if key in value:
+                _validate(value[key], sub_schema, f"{path}.{key}")
+    elif isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            _validate(item, schema["items"], f"{path}[{index}]")
+
+
+def validate_report(document: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` when ``document`` violates the report schema."""
+    _validate(document, REPORT_SCHEMA, "$")
+
+
+def validate_report_file(path: str) -> Dict[str, Any]:
+    """Load a report file and validate it; returns the document."""
+    import json
+
+    with open(path) as handle:
+        document = json.load(handle)
+    validate_report(document)
+    return document

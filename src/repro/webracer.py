@@ -51,6 +51,8 @@ class PageReport:
     classified: RaceReport
     #: Raw races, classified (for Table 1, which is pre-filtering).
     raw_classified: RaceReport
+    #: How many races each Section 5.3 filter suppressed (name -> count).
+    filter_removed: Dict[str, int] = field(default_factory=dict)
 
     @property
     def trace(self) -> Trace:
@@ -147,6 +149,22 @@ class CorpusReport:
         """How many sites report at least one filtered race."""
         return len(self.table2())
 
+    def filters_removed_totals(self) -> Dict[str, int]:
+        """Corpus-wide suppression tally per Section 5.3 filter."""
+        totals: Dict[str, int] = {}
+        for report in self.reports:
+            for name, count in report.filter_removed.items():
+                totals[name] = totals.get(name, 0) + count
+        return totals
+
+    def raw_harmful_totals(self) -> Dict[str, int]:
+        """Per-type harmful counts over *raw* races (Table 1 companion)."""
+        totals = {race_type: 0 for race_type in RACE_TYPES}
+        for report in self.reports:
+            for race_type, count in report.raw_classified.harmful_counts().items():
+                totals[race_type] += count
+        return totals
+
 
 class WebRacer:
     """The dynamic race detector, configured once and reused across pages."""
@@ -223,8 +241,11 @@ class WebRacer:
     def report_for(self, page: Page, url: str = "page.html") -> PageReport:
         """Build a :class:`PageReport` from an already-run page."""
         raw_races = list(page.races)
+        filter_removed: Dict[str, int] = {}
         if self.apply_filters:
-            filtered = FilterChain(obs=self.obs).apply(raw_races, page.trace)
+            chain = FilterChain(obs=self.obs)
+            filtered = chain.apply(raw_races, page.trace)
+            filter_removed = chain.removed_counts()
         else:
             filtered = list(raw_races)
         with self.obs.span("classify", cat="pipeline", races=len(raw_races)):
@@ -241,6 +262,7 @@ class WebRacer:
             filtered_races=filtered,
             classified=classified,
             raw_classified=raw_classified,
+            filter_removed=filter_removed,
         )
 
     def check_site(self, site, seed: Optional[int] = None) -> PageReport:

@@ -103,6 +103,21 @@ class TestReportingPolicy:
         det.on_access(access(READ, 3))
         assert det.chc_queries >= 1
 
+    def test_self_pairs_do_not_count_as_queries(self):
+        """Same-operation pairs short-circuit before the HB relation is
+        consulted, so they must not inflate the E9 cost metric."""
+        det = detector_with([])
+        det.on_access(access(WRITE, 2))
+        det.on_access(access(WRITE, 2))
+        det.on_access(access(READ, 2))
+        assert det.chc_queries == 0
+
+    def test_cross_operation_pairs_count_once_each(self):
+        det = detector_with([(2, 3)])
+        det.on_access(access(WRITE, 2))
+        det.on_access(access(WRITE, 3))  # one write-vs-write CHC query
+        assert det.chc_queries == 1
+
 
 class TestPaperLimitation:
     def test_section_5_1_miss_example(self):

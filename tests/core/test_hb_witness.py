@@ -1,0 +1,134 @@
+"""Tests for witness-path queries over rule-labeled HB edges."""
+
+import pytest
+
+from repro.core.hb.backend import make_backend
+from repro.core.hb.chains import IncrementalChainClocks
+from repro.core.hb.graph import HBGraph
+from repro.core.hb.witness import (
+    ancestor_closure,
+    hb_path,
+    nearest_common_ancestor,
+    race_witness,
+)
+
+#: The classic diamond-with-race shape: 1 orders 2 and 3 via different
+#: rules; 4 joins only 2's side, so (3, 4) and (2, 3) are concurrent.
+EDGES = [
+    (1, 2, "1a:static-order"),
+    (1, 3, "8:target-created-before-dispatch"),
+    (2, 4, "2:create-before-exe"),
+]
+
+
+def build(store):
+    for src, dst, rule in EDGES:
+        store.add_edge(src, dst, rule)
+    return store
+
+
+@pytest.fixture(params=["graph", "chains", "crosscheck", "standalone-clocks"])
+def hb(request):
+    """Every HB store variant answers witness queries identically."""
+    if request.param == "standalone-clocks":
+        return build(IncrementalChainClocks())
+    return build(make_backend(request.param))
+
+
+class TestAncestorClosure:
+    def test_transitive(self, hb):
+        assert ancestor_closure(hb, 4) == {1, 2}
+
+    def test_root_has_no_ancestors(self, hb):
+        assert ancestor_closure(hb, 1) == set()
+
+
+class TestNearestCommonAncestor:
+    def test_diamond_sides_share_the_root(self, hb):
+        assert nearest_common_ancestor(hb, 3, 4) == 1
+
+    def test_max_id_common_ancestor_wins(self):
+        graph = HBGraph()
+        for src, dst in [(1, 2), (2, 5), (2, 6), (1, 3), (3, 5), (3, 6)]:
+            graph.add_edge(src, dst)
+        # 1, 2 and 3 all precede both 5 and 6; 3 is the nearest (highest
+        # id, hence HB-maximal under the forward discipline).
+        assert nearest_common_ancestor(graph, 5, 6) == 3
+
+    def test_disjoint_cones(self):
+        graph = HBGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(3, 4)
+        assert nearest_common_ancestor(graph, 2, 4) is None
+
+
+class TestHbPath:
+    def test_path_carries_rule_labels(self, hb):
+        steps = hb_path(hb, 1, 4)
+        assert [(s.src, s.dst) for s in steps] == [(1, 2), (2, 4)]
+        assert [s.rule for s in steps] == [
+            "1a:static-order", "2:create-before-exe",
+        ]
+
+    def test_no_path_returns_none(self, hb):
+        assert hb_path(hb, 3, 4) is None
+        assert hb_path(hb, 4, 3) is None
+
+    def test_trivial_path_is_empty(self, hb):
+        assert hb_path(hb, 2, 2) == []
+
+    def test_shortest_path_preferred(self):
+        graph = HBGraph()
+        for src, dst, rule in [
+            (1, 2, "long-a"), (2, 3, "long-b"), (3, 9, "long-c"),
+            (1, 9, "direct"),
+        ]:
+            graph.add_edge(src, dst, rule)
+        steps = hb_path(graph, 1, 9)
+        assert len(steps) == 1
+        assert steps[0].rule == "direct"
+
+
+class TestRaceWitness:
+    def test_concurrent_pair(self, hb):
+        witness = race_witness(hb, 3, 4)
+        assert not witness.ordered
+        assert witness.nca == 1
+        assert witness.common_ancestor_count == 1
+        assert witness.rules_a() == ["8:target-created-before-dispatch"]
+        assert witness.rules_b() == [
+            "1a:static-order", "2:create-before-exe",
+        ]
+
+    def test_ordered_pair_flagged(self, hb):
+        witness = race_witness(hb, 2, 4)
+        assert witness.ordered
+
+    def test_disjoint_pair(self):
+        graph = HBGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(3, 4)
+        witness = race_witness(graph, 2, 4)
+        assert witness.nca is None
+        assert witness.common_ancestor_count == 0
+        assert witness.path_a == [] and witness.path_b == []
+        assert not witness.ordered
+
+
+class TestEdgeRuleProvenance:
+    def test_graph_edge_rule(self):
+        graph = build(HBGraph())
+        assert graph.edge_rule(1, 2) == "1a:static-order"
+        assert graph.edge_rule(2, 1) is None
+        assert graph.edge_rule(1, 99) is None
+
+    def test_chains_retain_edge_rules(self):
+        clocks = build(IncrementalChainClocks())
+        assert clocks.edge_rule(1, 3) == "8:target-created-before-dispatch"
+        assert sorted(clocks.predecessors(4)) == [2]
+
+    def test_duplicate_edge_keeps_first_rule(self):
+        graph = HBGraph()
+        assert graph.add_edge(1, 2, "first")
+        assert not graph.add_edge(1, 2, "second")
+        assert graph.edge_rule(1, 2) == "first"

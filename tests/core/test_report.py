@@ -213,6 +213,87 @@ class TestEventDispatchHarmfulness:
         assert not HarmfulnessJudge(Trace()).judge(race, EVENT_DISPATCH).harmful
 
 
+class TestJudgeEdgeCases:
+    """Corner cases of Section 6 judgement and Section 2 classification."""
+
+    def test_write_write_html_race_has_no_reader(self):
+        """Element creation racing with element creation: nothing is looked
+        up, so the nonexistent-node criterion cannot fire."""
+        location = HElemLocation(id_key(1, "dw"))
+        race = race_on(
+            location,
+            Access(kind=WRITE, op_id=4, location=location),
+            Access(kind=WRITE, op_id=5, location=location),
+        )
+        verdict = HarmfulnessJudge(Trace()).judge(race, HTML)
+        assert not verdict.harmful
+        assert verdict.reason == "write-write on element"
+
+    def test_write_write_html_race_ignores_unrelated_crash(self):
+        """A crash in one racing operation does not make a write-write
+        element race harmful — only a missed *lookup* can."""
+        location = HElemLocation(id_key(1, "dw"))
+        race = race_on(
+            location,
+            Access(kind=WRITE, op_id=4, location=location),
+            Access(kind=WRITE, op_id=5, location=location),
+        )
+        trace = Trace()
+        trace.record_crash(ScriptCrash(4, JSErrorValue("TypeError", "boom")))
+        assert not HarmfulnessJudge(trace).judge(race, HTML).harmful
+
+    def test_guarded_missed_lookup_reason(self):
+        location = HElemLocation(id_key(1, "last"))
+        race = race_on(
+            location,
+            Access(kind=READ, op_id=5, location=location,
+                   detail={"found": False}),
+            Access(kind=WRITE, op_id=6, location=location),
+        )
+        verdict = HarmfulnessJudge(Trace()).judge(race, HTML)
+        assert not verdict.harmful
+        assert verdict.reason == "missed lookup was guarded (no crash)"
+
+    def test_handler_removal_race_is_benign_even_on_single_dispatch(self):
+        """Removing a handler cannot lose a registration, even for load."""
+        location = HandlerLocation(id_key(1, "img"), "load", ATTR_SLOT)
+        race = race_on(
+            location,
+            Access(kind=READ, op_id=5, location=location),
+            Access(kind=WRITE, op_id=6, location=location,
+                   detail={"removal": True}),
+        )
+        verdict = HarmfulnessJudge(Trace()).judge(race, EVENT_DISPATCH)
+        assert not verdict.harmful
+        assert verdict.reason == "racing access removes a handler"
+
+    def test_call_vs_plain_write_without_function_value_is_variable(self):
+        """The report.py call-vs-write path: a call racing with a write
+        only becomes a function race when the write stores a function."""
+        location = PropLocation(1, "handler")
+        race = race_on(
+            location,
+            Access(kind=READ, op_id=2, location=location, is_call=True),
+            Access(kind=WRITE, op_id=3, location=location),
+        )
+        assert classify_race(race) == VARIABLE
+
+    def test_call_vs_write_checks_both_sides_for_function_value(self):
+        """writes_function may sit on either side of the pair."""
+        location = PropLocation(1, "handler")
+        race = race_on(
+            location,
+            Access(
+                kind=WRITE,
+                op_id=2,
+                location=location,
+                detail={"writes_function": True},
+            ),
+            Access(kind=READ, op_id=3, location=location, is_call=True),
+        )
+        assert classify_race(race) == FUNCTION
+
+
 class TestRaceReport:
     def build(self):
         form = DomPropLocation(id_key(1, "q"), "value", tag="input")

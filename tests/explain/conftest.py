@@ -1,0 +1,32 @@
+"""Shared fixtures: one racy page checked once per HB backend."""
+
+import pytest
+
+from repro import WebRacer
+
+#: The Fig. 2 + Fig. 5 page: a form race and an event-dispatch race.
+PAGE_HTML = """
+<input type="text" id="search" />
+<iframe id="widget" src="widget.html"></iframe>
+<script>
+document.getElementById('widget').onload = function () { widgetReady = true; };
+</script>
+<script src="hint.js"></script>
+"""
+
+RESOURCES = {"hint.js": "document.getElementById('search').value = 'hint';"}
+
+
+def check_page(hb_backend="graph", **kwargs):
+    racer = WebRacer(seed=7, hb_backend=hb_backend, **kwargs)
+    return racer.check_page(PAGE_HTML, resources=RESOURCES, url="racy.html")
+
+
+@pytest.fixture(scope="module")
+def page_report():
+    return check_page()
+
+
+@pytest.fixture(scope="module", params=["graph", "chains"])
+def backend_report(request):
+    return request.param, check_page(hb_backend=request.param)

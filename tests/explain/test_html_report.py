@@ -1,0 +1,88 @@
+"""Tests for the self-contained single-file HTML report."""
+
+import html.parser
+import re
+
+import pytest
+
+from repro.explain import build_report_document, render_html_report
+
+
+@pytest.fixture(scope="module")
+def rendered(page_report):
+    document = build_report_document([("racy.html", page_report)])
+    return document, render_html_report(document)
+
+
+class _AttributeAudit(html.parser.HTMLParser):
+    """Collects every attribute that could pull in an external asset."""
+
+    def __init__(self):
+        super().__init__()
+        self.external = []
+
+    def handle_starttag(self, tag, attrs):
+        for name, value in attrs:
+            if name in ("src", "href") and value is not None:
+                self.external.append((tag, name, value))
+
+
+class TestSelfContained:
+    def test_no_external_references(self, rendered):
+        _document, text = rendered
+        audit = _AttributeAudit()
+        audit.feed(text)
+        assert audit.external == []
+
+    def test_no_network_urls(self, rendered):
+        _document, text = rendered
+        # Escaped source labels may mention file names, but never a URL
+        # scheme that a browser would fetch.
+        assert not re.search(r"(https?:)?//[a-z0-9.-]+\.[a-z]{2,}/", text)
+
+    def test_parses_as_html(self, rendered):
+        _document, text = rendered
+        parser = html.parser.HTMLParser()
+        parser.feed(text)  # must not raise
+        assert text.lstrip().lower().startswith("<!doctype html>")
+
+
+class TestContent:
+    def test_every_fingerprint_is_shown(self, rendered):
+        document, text = rendered
+        for page in document["pages"]:
+            for evidence in page["evidence"]:
+                assert evidence["fingerprint"] in text
+
+    def test_rule_labels_are_shown(self, rendered):
+        document, text = rendered
+        for page in document["pages"]:
+            for evidence in page["evidence"]:
+                for side in (evidence["prior"], evidence["current"]):
+                    for step in side["path_from_nca"]:
+                        assert step["rule"] in text
+
+    def test_timeline_svg_present(self, rendered):
+        _document, text = rendered
+        assert "<svg" in text
+
+    def test_clusters_section_lists_counts(self, rendered):
+        document, text = rendered
+        assert document["clusters"]
+        top = document["clusters"][0]
+        assert top["fingerprint"] in text
+
+    def test_markup_is_escaped(self, rendered):
+        document, text = rendered
+        # Operation labels contain <script ...>; they must never appear
+        # unescaped in the rendered page.
+        labels = [
+            side["operation"]["label"]
+            for page in document["pages"]
+            for evidence in page["evidence"]
+            for side in (evidence["prior"], evidence["current"])
+        ]
+        assert any("<" in label for label in labels)
+        for label in labels:
+            if "<" in label:
+                assert label not in text
