@@ -27,11 +27,11 @@ __version__ = "1.0.0"
 
 
 def __getattr__(name):
-    if name in ("WebRacer", "PageReport", "CorpusReport"):
+    if name in ("WebRacer", "PageReport", "CorpusReport", "SiteResult"):
         from . import webracer
 
         return getattr(webracer, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 
-__all__ = ["WebRacer", "PageReport", "CorpusReport", "__version__"]
+__all__ = ["WebRacer", "PageReport", "CorpusReport", "SiteResult", "__version__"]

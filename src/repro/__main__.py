@@ -9,9 +9,16 @@ Commands
     src, image, XHR endpoint) to a local file.  ``--json`` additionally
     dumps the full execution trace for offline analysis.
 
-``corpus [--sites N] [--seed N] [--json out.json]``
+``corpus [--sites N] [--seed N] [--jobs N] [--site-timeout S] [--json out.json]``
     Build the synthetic Fortune-100 corpus and print Table 1 / Table 2.
     ``--json`` additionally writes the tables as machine-readable JSON.
+    ``--jobs N`` shards the run over N worker processes (0 = one per
+    CPU); workers rebuild their sites deterministically from
+    ``(master_seed, index)`` and results merge in site-index order, so
+    the output is byte-identical to a sequential run.  A site that
+    crashes or exceeds ``--site-timeout`` seconds records a site error
+    (listed in the output and the ``--json`` payload) and the run
+    continues.  All output paths are validated before any site runs.
 
 ``analyze TRACE.json``
     Re-run detection, filtering and classification on a captured trace.
@@ -58,6 +65,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -67,6 +75,63 @@ from .core.render import render_crashes, render_race_report, render_table1, rend
 from .core.report import RACE_TYPES
 from .core.serialize import dump_trace, load_trace
 from .obs import Instrumentation, render_profile, stats_dict, write_chrome_trace
+
+#: Every flag naming an output file, validated up front so a bad path
+#: fails before — not after — an expensive run.
+OUTPUT_PATH_FLAGS = ("json", "stats_json", "trace_out", "report_json", "report_html")
+
+
+def _fail(message: str) -> int:
+    """Print a one-line error to stderr; returns the exit status (2)."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _output_path_error(path: str) -> Optional[str]:
+    """Why ``path`` cannot be written, or ``None`` if it looks writable."""
+    if os.path.isdir(path):
+        return f"output path {path!r} is a directory"
+    directory = os.path.dirname(path) or "."
+    if not os.path.isdir(directory):
+        return f"output directory {directory!r} does not exist"
+    if not os.access(directory, os.W_OK):
+        return f"output directory {directory!r} is not writable"
+    if os.path.exists(path) and not os.access(path, os.W_OK):
+        return f"output file {path!r} is not writable"
+    return None
+
+
+def _validate_output_paths(args) -> Optional[str]:
+    """First problem among the requested output paths, or ``None``."""
+    for flag in OUTPUT_PATH_FLAGS:
+        path = getattr(args, flag, None)
+        if path:
+            error = _output_path_error(path)
+            if error:
+                return error
+    return None
+
+
+def _write_output(path: str, writer) -> Optional[str]:
+    """Run ``writer()``; turn an ``OSError`` into a one-line message."""
+    try:
+        writer()
+        return None
+    except OSError as exc:
+        return f"cannot write {path!r}: {exc.strerror or exc}"
+
+
+def _load_trace_cli(path: str, hb_backend: str):
+    """Load a trace for analyze/explain; returns ``None`` after printing a
+    one-line error for a missing, unreadable or corrupt file."""
+    try:
+        return load_trace(path, hb_backend=hb_backend)
+    except OSError as exc:
+        _fail(f"cannot read trace {path!r}: {exc.strerror or exc}")
+    except (ValueError, KeyError, TypeError, AttributeError) as exc:
+        reason = str(exc).splitlines()[0] if str(exc) else type(exc).__name__
+        _fail(f"corrupt trace {path!r}: {reason}")
+    return None
 
 
 def _print_report(report) -> int:
@@ -84,7 +149,28 @@ def _make_obs(args) -> Optional[Instrumentation]:
     return None
 
 
-def _emit_reports(args, page_reports, obs, mode: str) -> None:
+def _emit_document(args, document) -> Optional[str]:
+    """Write a built report document to the requested report outputs."""
+    from .explain import write_html_report, write_report_json
+
+    if args.report_json:
+        error = _write_output(
+            args.report_json, lambda: write_report_json(document, args.report_json)
+        )
+        if error:
+            return error
+        print(f"race report (JSON) written to {args.report_json}")
+    if args.report_html:
+        error = _write_output(
+            args.report_html, lambda: write_html_report(document, args.report_html)
+        )
+        if error:
+            return error
+        print(f"race report (HTML) written to {args.report_html}")
+    return None
+
+
+def _emit_reports(args, page_reports, obs, mode: str) -> Optional[str]:
     """Write --report-json / --report-html outputs when requested.
 
     ``page_reports`` is a list of ``(url, PageReport)`` pairs.  Evidence is
@@ -92,38 +178,71 @@ def _emit_reports(args, page_reports, obs, mode: str) -> None:
     detection, so flagged runs report byte-identical races.
     """
     if not (args.report_json or args.report_html):
-        return
-    from .explain import build_report_document, write_html_report, write_report_json
+        return None
+    from .explain import build_report_document
 
     document = build_report_document(
         page_reports, hb_backend=args.hb_backend, mode=mode, obs=obs
     )
-    if args.report_json:
-        write_report_json(document, args.report_json)
-        print(f"race report (JSON) written to {args.report_json}")
-    if args.report_html:
-        write_html_report(document, args.report_html)
-        print(f"race report (HTML) written to {args.report_html}")
+    return _emit_document(args, document)
 
 
-def _emit_profile(args, obs: Optional[Instrumentation], extra=None) -> None:
+def _emit_corpus_reports(args, corpus_report) -> Optional[str]:
+    """Corpus report outputs, assembled from serialized site summaries.
+
+    Both the sequential and the sharded runner leave a serialized
+    evidence block (``SiteResult.report_page``) on every successful site,
+    so assembly here is mode-independent — which is what keeps ``--jobs 1``
+    and ``--jobs N`` report files byte-identical.  Failed sites carry no
+    evidence and are simply absent from the document's pages.
+    """
+    if not (args.report_json or args.report_html):
+        return None
+    from .explain import assemble_report_document
+
+    pages = [
+        result.report_page
+        for result in corpus_report.reports
+        if result.report_page is not None
+    ]
+    document = assemble_report_document(
+        pages, mode="corpus", hb_backend=args.hb_backend
+    )
+    return _emit_document(args, document)
+
+
+def _emit_profile(args, obs: Optional[Instrumentation], extra=None) -> Optional[str]:
     """Print/write whatever profiling outputs the flags requested."""
     if obs is None:
-        return
+        return None
     if args.profile:
         print()
         print(render_profile(obs))
     if args.trace_out:
-        write_chrome_trace(obs, args.trace_out)
+        error = _write_output(
+            args.trace_out, lambda: write_chrome_trace(obs, args.trace_out)
+        )
+        if error:
+            return error
         print(f"chrome trace written to {args.trace_out}")
     if args.stats_json:
-        with open(args.stats_json, "w") as handle:
-            json.dump(stats_dict(obs, extra=extra), handle, indent=2)
+
+        def _write_stats():
+            with open(args.stats_json, "w") as handle:
+                json.dump(stats_dict(obs, extra=extra), handle, indent=2)
+
+        error = _write_output(args.stats_json, _write_stats)
+        if error:
+            return error
         print(f"stats written to {args.stats_json}")
+    return None
 
 
 def cmd_check(args) -> int:
     """Run WebRacer on a local HTML file (the `check` subcommand)."""
+    path_error = _validate_output_paths(args)
+    if path_error:
+        return _fail(path_error)
     with open(args.page) as handle:
         html = handle.read()
     resources = {}
@@ -139,10 +258,17 @@ def cmd_check(args) -> int:
     report = racer.check_page(html, resources=resources, url=args.page)
     status = _print_report(report)
     if args.json:
-        dump_trace(report.trace, report.page.monitor.graph, args.json)
+        error = _write_output(
+            args.json,
+            lambda: dump_trace(report.trace, report.page.monitor.graph, args.json),
+        )
+        if error:
+            return _fail(error)
         print(f"trace written to {args.json}")
-    _emit_reports(args, [(args.page, report)], obs, mode="check")
-    _emit_profile(
+    error = _emit_reports(args, [(args.page, report)], obs, mode="check")
+    if error:
+        return _fail(error)
+    error = _emit_profile(
         args,
         obs,
         extra={
@@ -154,6 +280,8 @@ def cmd_check(args) -> int:
             },
         },
     )
+    if error:
+        return _fail(error)
     return status
 
 
@@ -191,6 +319,13 @@ def _corpus_tables_dict(corpus_report, full_run: bool):
         # How many races each Section 5.3 filter suppressed, corpus-wide.
         "filters_removed": corpus_report.filters_removed_totals(),
         "sites_with_races": corpus_report.sites_with_filtered_races(),
+        # Crash/timeout isolation: failed sites stay in the payload so a
+        # partially failing run is still a complete account of the corpus.
+        "sites_failed": len(corpus_report.failed()),
+        "site_errors": [
+            {"index": result.index, "site": result.url, "error": result.error}
+            for result in corpus_report.failed()
+        ],
     }
     if full_run:
         payload["paper"] = {
@@ -206,35 +341,63 @@ def _corpus_tables_dict(corpus_report, full_run: bool):
 
 def _per_site_stats(corpus_report) -> List[dict]:
     """Per-site race totals for the corpus ``--stats-json`` payload."""
-    return [
-        {
-            "site": report.url,
+    stats = []
+    for result in corpus_report.reports:
+        entry = {
+            "site": result.url,
             "races": {
-                "raw": len(report.raw_races),
-                "filtered": len(report.filtered_races),
-                "harmful": len(report.classified.harmful()),
+                "raw": sum(result.raw_counts().values()),
+                "filtered": sum(result.filtered_counts().values()),
+                "harmful": sum(result.harmful_counts().values()),
             },
-            "operations": len(report.trace.operations),
-            "accesses": len(report.trace.accesses),
-            "chc_queries": report.page.monitor.detector.chc_queries,
+            "operations": result.operations,
+            "accesses": result.accesses,
+            "chc_queries": result.chc_queries,
+            "duration_ms": result.duration_ms,
         }
-        for report in corpus_report.reports
-    ]
+        if result.error is not None:
+            entry["error"] = result.error
+        stats.append(entry)
+    return stats
 
 
 def cmd_corpus(args) -> int:
     """Run the Fortune-100 evaluation (the `corpus` subcommand)."""
     from .sites import PAPER_TABLE1, PAPER_TABLE2_TOTALS, build_corpus
 
-    sites = build_corpus(master_seed=args.seed, limit=args.sites)
+    path_error = _validate_output_paths(args)
+    if path_error:
+        return _fail(path_error)
+    if args.jobs < 0:
+        return _fail(f"--jobs must be >= 0, got {args.jobs}")
+    from .corpus_runner import resolve_jobs
+
+    jobs = resolve_jobs(args.jobs)
+    collect_evidence = bool(args.report_json or args.report_html)
+    timeout = args.site_timeout if args.site_timeout else None
     obs = _make_obs(args)
     racer = WebRacer(seed=args.seed, hb_backend=args.hb_backend, obs=obs)
-    corpus_report = racer.check_corpus(sites)
+    if jobs == 1:
+        sites = build_corpus(master_seed=args.seed, limit=args.sites)
+        corpus_report = racer.check_corpus(
+            sites,
+            timeout=timeout,
+            collect_evidence=collect_evidence,
+            keep_pages=False,
+        )
+    else:
+        corpus_report = racer.check_corpus_parallel(
+            master_seed=args.seed,
+            limit=args.sites,
+            jobs=jobs,
+            timeout=timeout,
+            collect_evidence=collect_evidence,
+        )
 
     # Paper comparisons only make sense against the full 100-site corpus.
     # Gate on the number of sites actually built: ``--sites 150`` clamps
     # to the full corpus (compare away), a smaller build never compares.
-    full_run = len(sites) >= 100
+    full_run = len(corpus_report.reports) >= 100
     print("Table 1 — unfiltered (reproduced vs. paper):")
     print(render_table1(corpus_report.table1(), paper=PAPER_TABLE1))
     print()
@@ -250,23 +413,37 @@ def cmd_corpus(args) -> int:
     if full_run:
         line += " (paper 41)"
     print(line)
+    failed = corpus_report.failed()
+    if failed:
+        print(f"site errors: {len(failed)} of {len(corpus_report.reports)} sites")
+        for result in failed:
+            print(f"  [{result.index}] {result.url}: {result.error}")
     if args.json:
-        with open(args.json, "w") as handle:
-            json.dump(_corpus_tables_dict(corpus_report, full_run), handle, indent=2)
+
+        def _write_tables():
+            with open(args.json, "w") as handle:
+                json.dump(
+                    _corpus_tables_dict(corpus_report, full_run), handle, indent=2
+                )
+
+        error = _write_output(args.json, _write_tables)
+        if error:
+            return _fail(error)
         print(f"tables written to {args.json}")
-    _emit_reports(
-        args,
-        [(r.url, r) for r in corpus_report.reports],
-        obs,
-        mode="corpus",
-    )
-    _emit_profile(args, obs, extra={"sites": _per_site_stats(corpus_report)})
+    error = _emit_corpus_reports(args, corpus_report)
+    if error:
+        return _fail(error)
+    error = _emit_profile(args, obs, extra={"sites": _per_site_stats(corpus_report)})
+    if error:
+        return _fail(error)
     return 0
 
 
 def cmd_analyze(args) -> int:
     """Analyse a captured trace file (the `analyze` subcommand)."""
-    loaded = load_trace(args.trace, hb_backend=args.hb_backend)
+    loaded = _load_trace_cli(args.trace, args.hb_backend)
+    if loaded is None:
+        return 2
     report = loaded.report(apply_filters=not args.no_filters)
     print(f"{args.trace}: {len(loaded.trace.accesses)} accesses, "
           f"{len(loaded.trace.operations.operations)} operations")
@@ -278,7 +455,9 @@ def cmd_explain(args) -> int:
     """Print HB evidence for races in a captured trace (`explain`)."""
     from .explain import render_all_evidence, render_evidence
 
-    loaded = load_trace(args.trace, hb_backend=args.hb_backend)
+    loaded = _load_trace_cli(args.trace, args.hb_backend)
+    if loaded is None:
+        return 2
     report, records = loaded.explain(apply_filters=not args.no_filters)
     print(
         f"{args.trace}: {len(loaded.trace.accesses)} accesses, "
@@ -342,6 +521,13 @@ def build_parser() -> argparse.ArgumentParser:
     corpus = sub.add_parser("corpus", help="run the Fortune-100 evaluation")
     corpus.add_argument("--sites", type=int, default=100)
     corpus.add_argument("--seed", type=int, default=0)
+    corpus.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the corpus run "
+                             "(0 = one per CPU; default 1, sequential)")
+    corpus.add_argument("--site-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-site wall-clock limit; an over-budget "
+                             "site records an error and the run continues")
     corpus.add_argument("--json", metavar="FILE",
                         help="write Table 1 / Table 2 / totals as JSON")
     _add_hb_backend(corpus)

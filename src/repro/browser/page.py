@@ -41,7 +41,16 @@ from ..js.builtins import install_builtins
 from ..js.errors import JSSyntaxError, JSThrow
 from ..js.interpreter import BudgetExceeded, Interpreter, to_string
 from ..js.parser import parse as parse_js
-from ..js.values import JSFunction, JSObject, NativeFunction, UNDEFINED, NULL, is_callable
+from ..dom.node import reset_node_ids
+from ..js.values import (
+    JSFunction,
+    JSObject,
+    NativeFunction,
+    UNDEFINED,
+    NULL,
+    is_callable,
+    reset_value_ids,
+)
 from .bindings import Bindings, event_of_attr
 from .clock import VirtualClock
 from .dispatcher import Dispatcher
@@ -51,7 +60,7 @@ from .instrument import Monitor
 from .network import FetchResult, NetworkSimulator
 from .scheduler import Scheduler, make_scheduler
 from .timers import TimerEntry, TimerRegistry
-from .window import Window
+from .window import Window, reset_window_ids
 from .xhr import XhrBinding, make_xhr_constructor
 from ..obs import NULL
 
@@ -77,6 +86,14 @@ class Browser:
         hb_backend: str = "graph",
         obs=None,
     ):
+        # One Browser is one page-load experiment: restart the allocation
+        # id spaces (objects, cells, DOM nodes, windows) so every run of a
+        # page is deterministic in (page, seed) alone.  Without this, ids
+        # leak cross-page process history into traces and evidence, and a
+        # sharded corpus worker could never reproduce a sequential run.
+        reset_value_ids()
+        reset_node_ids()
+        reset_window_ids()
         self.seed = seed
         self.obs = obs if obs is not None else NULL
         self.clock = VirtualClock()

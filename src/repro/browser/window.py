@@ -22,6 +22,12 @@ from ..dom.document import Document
 _window_ids = itertools.count(1)
 
 
+def reset_window_ids() -> None:
+    """Restart window allocation at 1 (a fresh page's id space)."""
+    global _window_ids
+    _window_ids = itertools.count(1)
+
+
 class Window:
     """A browsing context: document + frame tree + window-level events."""
 

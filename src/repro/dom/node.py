@@ -26,6 +26,12 @@ def next_node_id() -> int:
     return next(_node_ids)
 
 
+def reset_node_ids() -> None:
+    """Restart node allocation at 1 (a fresh page's id space)."""
+    global _node_ids
+    _node_ids = itertools.count(1)
+
+
 class Node:
     """Base tree node: identity, parent/child links."""
 

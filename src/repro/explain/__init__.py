@@ -30,8 +30,10 @@ from .fingerprint import location_token, race_fingerprint
 from .html_report import render_html_report, write_html_report
 from .render_text import render_all_evidence, render_evidence
 from .report_json import (
+    assemble_report_document,
     build_clusters,
     build_report_document,
+    page_evidence_dict,
     write_report_json,
 )
 from .schema import (
@@ -44,8 +46,10 @@ __all__ = [
     "REPORT_SCHEMA",
     "RaceEvidence",
     "SideEvidence",
+    "assemble_report_document",
     "attach_evidence",
     "build_clusters",
+    "page_evidence_dict",
     "build_race_evidence",
     "build_report_document",
     "location_token",

@@ -28,8 +28,13 @@ def collect_page_evidence(page_report, hb, obs=None) -> List[RaceEvidence]:
     )
 
 
-def _page_dict(url: str, page_report, records: List[RaceEvidence],
-               hb_backend: str) -> Dict[str, Any]:
+def page_evidence_dict(url: str, page_report, records: List[RaceEvidence],
+                       hb_backend: str) -> Dict[str, Any]:
+    """One page's JSON-able report block (race totals + evidence records).
+
+    This is the unit sharded corpus workers ship back to the parent —
+    fully serialized, so document assembly never needs the live page.
+    """
     return {
         "url": url,
         "hb_backend": hb_backend,
@@ -43,31 +48,89 @@ def _page_dict(url: str, page_report, records: List[RaceEvidence],
     }
 
 
+def _cluster_key(record) -> Tuple[str, str, bool, str]:
+    """(fingerprint, race_type, harmful, location token) for clustering,
+    from either a live :class:`RaceEvidence` or its serialized dict."""
+    if isinstance(record, dict):
+        return (
+            record["fingerprint"],
+            record["race_type"],
+            record["harmful"],
+            record["location"]["token"],
+        )
+    return (
+        record.fingerprint,
+        record.race_type,
+        record.harmful,
+        record.location_token,
+    )
+
+
 def build_clusters(
-    pages: Iterable[Tuple[str, List[RaceEvidence]]]
+    pages: Iterable[Tuple[str, List[Any]]]
 ) -> List[Dict[str, Any]]:
-    """Group evidence records by fingerprint across pages."""
+    """Group evidence records by fingerprint across pages.
+
+    Accepts live :class:`RaceEvidence` records or their serialized dicts
+    (``RaceEvidence.to_dict`` shape) interchangeably.
+    """
     clusters: Dict[str, Dict[str, Any]] = {}
     for url, records in pages:
         for record in records:
-            cluster = clusters.get(record.fingerprint)
+            fingerprint, race_type, harmful, token = _cluster_key(record)
+            cluster = clusters.get(fingerprint)
             if cluster is None:
-                cluster = clusters[record.fingerprint] = {
-                    "fingerprint": record.fingerprint,
+                cluster = clusters[fingerprint] = {
+                    "fingerprint": fingerprint,
                     "count": 0,
                     "pages": [],
-                    "race_type": record.race_type,
+                    "race_type": race_type,
                     "harmful": False,
-                    "location": record.location_token,
+                    "location": token,
                 }
             cluster["count"] += 1
             if url not in cluster["pages"]:
                 cluster["pages"].append(url)
-            cluster["harmful"] = cluster["harmful"] or record.harmful
+            cluster["harmful"] = cluster["harmful"] or harmful
     return sorted(
         clusters.values(),
         key=lambda c: (-c["count"], c["fingerprint"]),
     )
+
+
+def assemble_report_document(
+    pages: List[Dict[str, Any]],
+    mode: str = "check",
+    hb_backend: str = "graph",
+) -> Dict[str, Any]:
+    """Assemble (and validate) the report document from serialized pages.
+
+    ``pages`` are ``page_evidence_dict`` blocks — possibly produced in
+    worker processes — merged here into one document with cross-page
+    fingerprint clusters and corpus totals.  This is the single assembly
+    path for both sequential and sharded runs, which is what makes their
+    ``--report-json`` outputs byte-identical.
+    """
+    totals = {"raw": 0, "filtered": 0, "harmful": 0}
+    for page in pages:
+        for key in totals:
+            totals[key] += page["races"][key]
+    clusters = build_clusters([(page["url"], page["evidence"]) for page in pages])
+    document = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "mode": mode,
+        "hb_backend": hb_backend,
+        "pages": pages,
+        "clusters": clusters,
+        "totals": {
+            "races": totals,
+            "evidence_records": sum(len(page["evidence"]) for page in pages),
+            "distinct_fingerprints": len(clusters),
+        },
+    }
+    validate_report(document)
+    return document
 
 
 def build_report_document(
@@ -84,35 +147,13 @@ def build_report_document(
     """
     obs = obs if obs is not None else NULL
     pages: List[Dict[str, Any]] = []
-    evidence_by_page: List[Tuple[str, List[RaceEvidence]]] = []
-    totals = {"raw": 0, "filtered": 0, "harmful": 0}
     with obs.span("explain.report", cat="explain", pages=len(page_reports)):
         for url, page_report in page_reports:
             records = collect_page_evidence(
                 page_report, page_report.page.monitor.graph, obs=obs
             )
-            pages.append(_page_dict(url, page_report, records, hb_backend))
-            evidence_by_page.append((url, records))
-            totals["raw"] += len(page_report.raw_races)
-            totals["filtered"] += len(page_report.filtered_races)
-            totals["harmful"] += len(page_report.classified.harmful())
-    clusters = build_clusters(evidence_by_page)
-    document = {
-        "format": FORMAT_NAME,
-        "version": FORMAT_VERSION,
-        "mode": mode,
-        "hb_backend": hb_backend,
-        "pages": pages,
-        "clusters": clusters,
-        "totals": {
-            "races": totals,
-            "evidence_records": sum(
-                len(records) for _url, records in evidence_by_page
-            ),
-            "distinct_fingerprints": len(clusters),
-        },
-    }
-    validate_report(document)
+            pages.append(page_evidence_dict(url, page_report, records, hb_backend))
+    document = assemble_report_document(pages, mode=mode, hb_backend=hb_backend)
     if obs.enabled:
         obs.count("explain.reports_built")
     return document

@@ -37,6 +37,19 @@ def next_cell_id() -> int:
     return next(_cell_ids)
 
 
+def reset_value_ids() -> None:
+    """Restart object/cell allocation at 1 (a fresh page's id space).
+
+    Called per :class:`~repro.browser.page.Browser` so a page's allocation
+    ids depend only on the page and its seed — never on how many pages the
+    process ran before it.  That is what lets sharded corpus workers
+    reproduce a sequential run's ids exactly.
+    """
+    global _object_ids, _cell_ids
+    _object_ids = itertools.count(1)
+    _cell_ids = itertools.count(1)
+
+
 class _Undefined:
     """The ``undefined`` value.  A singleton; compare with ``is``."""
 

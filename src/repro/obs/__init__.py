@@ -30,6 +30,7 @@ from .core import (
     Span,
     SpanStat,
 )
+from .shard import merge_shard, snapshot
 from .stats import render_profile, stats_dict
 from .trace_event import (
     to_trace_events,
@@ -44,7 +45,9 @@ __all__ = [
     "NullInstrumentation",
     "Span",
     "SpanStat",
+    "merge_shard",
     "render_profile",
+    "snapshot",
     "stats_dict",
     "to_trace_events",
     "validate_trace_events",

@@ -250,6 +250,9 @@ class Instrumentation:
         self.histograms: Dict[Tuple[str, str], Histogram] = {}
         #: (scope, name) -> SpanStat.
         self.span_stats: Dict[Tuple[str, str], SpanStat] = {}
+        #: tid -> label for merged worker shards (Chrome-trace lanes);
+        #: tid 0 (the in-process event loop) needs no entry.
+        self.thread_names: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     # recording

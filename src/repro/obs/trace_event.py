@@ -42,6 +42,17 @@ def to_trace_events(obs: Instrumentation) -> List[Dict[str, Any]]:
             "args": {"name": "event-loop"},
         },
     ]
+    for tid, label in sorted(getattr(obs, "thread_names", {}).items()):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": label},
+            }
+        )
     last_ts = 0.0
     for record in obs.events:
         args = dict(record.args)
@@ -52,7 +63,7 @@ def to_trace_events(obs: Instrumentation) -> List[Dict[str, Any]]:
             "cat": record.category or "default",
             "ts": round(record.start, 3),
             "pid": 0,
-            "tid": 0,
+            "tid": getattr(record, "tid", 0),
             "args": args,
         }
         if record.duration is None:

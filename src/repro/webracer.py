@@ -21,9 +21,13 @@ Typical use::
 
 from __future__ import annotations
 
+import signal
 import statistics
+import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from .browser.page import Browser, Page
 from .core.detector import Race
@@ -81,18 +85,159 @@ class PageReport:
         )
 
 
+class SiteTimeoutError(Exception):
+    """A site exceeded its per-site wall-clock budget."""
+
+
+@contextmanager
+def site_deadline(seconds: Optional[float]):
+    """Raise :class:`SiteTimeoutError` after ``seconds`` of wall clock.
+
+    Implemented with ``SIGALRM``, so it only arms on POSIX main threads;
+    anywhere else (Windows, worker threads) it degrades to a no-op rather
+    than failing — the corpus runner's crash isolation still applies.
+    """
+    if (
+        not seconds
+        or seconds <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise SiteTimeoutError()
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass
+class SiteResult:
+    """Picklable summary of one corpus site's run.
+
+    This is what crosses process boundaries in sharded corpus runs
+    (workers never ship live :class:`~repro.browser.page.Page` graphs) and
+    what :class:`CorpusReport` aggregates — so sequential and parallel
+    runs flow through the same summaries and merge byte-identically.
+    A failed site (crash or per-site timeout) is a ``SiteResult`` whose
+    ``error`` is set and whose counts are all zero.
+    """
+
+    index: int
+    url: str
+    #: ``None`` on success; otherwise a one-line crash/timeout description.
+    error: Optional[str] = None
+    raw_by_type: Dict[str, int] = field(default_factory=dict)
+    filtered_by_type: Dict[str, int] = field(default_factory=dict)
+    harmful_by_type: Dict[str, int] = field(default_factory=dict)
+    raw_harmful_by_type: Dict[str, int] = field(default_factory=dict)
+    filter_removed: Dict[str, int] = field(default_factory=dict)
+    #: Serialized filtered races (type, verdict, location, description —
+    #: plus fingerprint when evidence was collected).
+    races: List[Dict[str, Any]] = field(default_factory=list)
+    operations: int = 0
+    accesses: int = 0
+    chc_queries: int = 0
+    duration_ms: float = 0.0
+    #: Page dict (``repro.explain.report_json.page_evidence_dict`` shape)
+    #: when evidence collection was requested; feeds ``--report-json``.
+    report_page: Optional[Dict[str, Any]] = None
+    #: ``repro.obs.shard.snapshot`` of the worker's instrumentation.
+    obs_snapshot: Optional[Dict[str, Any]] = None
+    #: The live page report, kept only for in-process runs (never pickled
+    #: with a value by workers, which run with ``keep_page=False``).
+    page_report: Optional[PageReport] = field(default=None, repr=False, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the site ran to completion."""
+        return self.error is None
+
+    def raw_counts(self) -> Dict[str, int]:
+        """Unfiltered race counts per type (Table 1 view)."""
+        return {t: self.raw_by_type.get(t, 0) for t in RACE_TYPES}
+
+    def filtered_counts(self) -> Dict[str, int]:
+        """Post-filter race counts per type (Table 2 view)."""
+        return {t: self.filtered_by_type.get(t, 0) for t in RACE_TYPES}
+
+    def harmful_counts(self) -> Dict[str, int]:
+        """Harmful race counts per type."""
+        return {t: self.harmful_by_type.get(t, 0) for t in RACE_TYPES}
+
+    def raw_harmful_counts(self) -> Dict[str, int]:
+        """Harmful counts over *raw* races (Table 1 companion)."""
+        return {t: self.raw_harmful_by_type.get(t, 0) for t in RACE_TYPES}
+
+    @classmethod
+    def from_page_report(
+        cls,
+        index: int,
+        page_report: PageReport,
+        duration_ms: float = 0.0,
+        keep_page: bool = False,
+    ) -> "SiteResult":
+        """Summarize a live :class:`PageReport` into a picklable record."""
+        races = [
+            {
+                "type": classified.race_type,
+                "harmful": classified.harmful,
+                "location": str(classified.location),
+                "description": classified.describe(),
+            }
+            for classified in page_report.classified.races
+        ]
+        return cls(
+            index=index,
+            url=page_report.url,
+            raw_by_type=page_report.raw_counts(),
+            filtered_by_type=page_report.filtered_counts(),
+            harmful_by_type=page_report.harmful_counts(),
+            raw_harmful_by_type=page_report.raw_classified.harmful_counts(),
+            filter_removed=dict(page_report.filter_removed),
+            races=races,
+            operations=len(page_report.trace.operations),
+            accesses=len(page_report.trace.accesses),
+            chc_queries=page_report.page.monitor.detector.chc_queries,
+            duration_ms=duration_ms,
+            page_report=page_report if keep_page else None,
+        )
+
+
 @dataclass
 class CorpusReport:
-    """Aggregated results over a set of sites (the paper's evaluation)."""
+    """Aggregated results over a set of sites (the paper's evaluation).
 
-    reports: List[PageReport] = field(default_factory=list)
+    Holds serializable :class:`SiteResult` summaries — not live page
+    graphs — so results from sharded worker processes and from the
+    in-process sequential path aggregate identically.  Failed sites stay
+    in ``reports`` (so the run is a complete account of the corpus) but
+    contribute nothing to the table aggregations.
+    """
+
+    reports: List[SiteResult] = field(default_factory=list)
+
+    def ok(self) -> List[SiteResult]:
+        """Only the sites that ran to completion."""
+        return [result for result in self.reports if result.ok]
+
+    def failed(self) -> List[SiteResult]:
+        """Sites that crashed or timed out, in site-index order."""
+        return [result for result in self.reports if not result.ok]
 
     def table1(self) -> Dict[str, Dict[str, float]]:
         """Mean/median/max per race type, *unfiltered* (paper Table 1)."""
         rows: Dict[str, Dict[str, float]] = {}
         per_type: Dict[str, List[int]] = {race_type: [] for race_type in RACE_TYPES}
         totals: List[int] = []
-        for report in self.reports:
+        for report in self.ok():
             counts = report.raw_counts()
             for race_type in RACE_TYPES:
                 per_type[race_type].append(counts[race_type])
@@ -118,7 +263,7 @@ class CorpusReport:
         Sites with no filtered races are elided, as in the paper.
         """
         rows: List[Dict[str, Any]] = []
-        for report in self.reports:
+        for report in self.ok():
             counts = report.filtered_counts()
             harmful = report.harmful_counts()
             if sum(counts.values()) == 0:
@@ -137,7 +282,7 @@ class CorpusReport:
     def table2_totals(self) -> Dict[str, Any]:
         """Filtered + harmful totals per type across the corpus."""
         totals = {race_type: [0, 0] for race_type in RACE_TYPES}
-        for report in self.reports:
+        for report in self.ok():
             counts = report.filtered_counts()
             harmful = report.harmful_counts()
             for race_type in RACE_TYPES:
@@ -152,7 +297,7 @@ class CorpusReport:
     def filters_removed_totals(self) -> Dict[str, int]:
         """Corpus-wide suppression tally per Section 5.3 filter."""
         totals: Dict[str, int] = {}
-        for report in self.reports:
+        for report in self.ok():
             for name, count in report.filter_removed.items():
                 totals[name] = totals.get(name, 0) + count
         return totals
@@ -160,8 +305,8 @@ class CorpusReport:
     def raw_harmful_totals(self) -> Dict[str, int]:
         """Per-type harmful counts over *raw* races (Table 1 companion)."""
         totals = {race_type: 0 for race_type in RACE_TYPES}
-        for report in self.reports:
-            for race_type, count in report.raw_classified.harmful_counts().items():
+        for report in self.ok():
+            for race_type, count in report.raw_harmful_counts().items():
                 totals[race_type] += count
         return totals
 
@@ -275,15 +420,132 @@ class WebRacer:
             seed=seed,
         )
 
-    def check_corpus(self, sites, seed: Optional[int] = None) -> CorpusReport:
-        """Run WebRacer over a corpus of generated sites.
+    def run_site_guarded(
+        self,
+        site: Union[Any, Callable[[], Any]],
+        index: int,
+        site_seed: int,
+        timeout: Optional[float] = None,
+        collect_evidence: bool = False,
+        keep_page: bool = False,
+    ) -> SiteResult:
+        """Run one corpus site with crash isolation and an optional timeout.
+
+        ``site`` is either a built :class:`repro.sites.Site` or a zero-arg
+        callable producing one (workers pass a callable so rebuilding the
+        site from its deterministic spec counts against the same per-site
+        deadline as running it).  Any exception — including the site build
+        — becomes an error :class:`SiteResult` instead of propagating, so
+        one wedged or crashing site never takes down a corpus run.
+        """
+        started = time.perf_counter()
+        url = f"site[{index}]"
+        try:
+            with site_deadline(timeout):
+                built = site() if callable(site) else site
+                url = built.name
+                with self.obs.scope(built.name):
+                    page_report = self.check_site(built, seed=site_seed)
+                    report_page = (
+                        self._site_evidence_dict(url, page_report)
+                        if collect_evidence
+                        else None
+                    )
+        except SiteTimeoutError:
+            return SiteResult(
+                index=index,
+                url=url,
+                error=f"timeout: exceeded per-site limit of {timeout:g}s",
+                duration_ms=(time.perf_counter() - started) * 1000.0,
+            )
+        except Exception as exc:  # crash isolation: record, don't propagate
+            message = str(exc).splitlines()[0] if str(exc) else ""
+            return SiteResult(
+                index=index,
+                url=url,
+                error=f"{type(exc).__name__}: {message}".rstrip(": "),
+                duration_ms=(time.perf_counter() - started) * 1000.0,
+            )
+        result = SiteResult.from_page_report(
+            index,
+            page_report,
+            duration_ms=(time.perf_counter() - started) * 1000.0,
+            keep_page=keep_page,
+        )
+        result.report_page = report_page
+        if report_page is not None:
+            for race, evidence in zip(result.races, report_page["evidence"]):
+                race["fingerprint"] = evidence["fingerprint"]
+        return result
+
+    def _site_evidence_dict(self, url: str, page_report: PageReport) -> Dict[str, Any]:
+        """Serialized per-page evidence block for ``--report-json``."""
+        from .explain.report_json import collect_page_evidence, page_evidence_dict
+
+        records = collect_page_evidence(
+            page_report, page_report.page.monitor.graph, obs=self.obs
+        )
+        return page_evidence_dict(url, page_report, records, self.hb_backend)
+
+    def check_corpus(
+        self,
+        sites,
+        seed: Optional[int] = None,
+        timeout: Optional[float] = None,
+        collect_evidence: bool = False,
+        keep_pages: bool = True,
+    ) -> CorpusReport:
+        """Run WebRacer over a corpus of generated sites, sequentially.
 
         Each site runs inside its own instrumentation scope, so profiled
-        corpus runs yield per-site phase timings and counters.
+        corpus runs yield per-site phase timings and counters.  Sites run
+        under the same crash/timeout isolation as sharded workers: a
+        raising or over-deadline site yields an error :class:`SiteResult`
+        and the run continues.
         """
         report = CorpusReport()
         for index, site in enumerate(sites):
             site_seed = (self.seed if seed is None else seed) + index * 101
-            with self.obs.scope(site.name):
-                report.reports.append(self.check_site(site, seed=site_seed))
+            report.reports.append(
+                self.run_site_guarded(
+                    site,
+                    index,
+                    site_seed,
+                    timeout=timeout,
+                    collect_evidence=collect_evidence,
+                    keep_page=keep_pages,
+                )
+            )
         return report
+
+    def check_corpus_parallel(
+        self,
+        master_seed: int = 0,
+        limit: int = 100,
+        jobs: int = 0,
+        seed: Optional[int] = None,
+        timeout: Optional[float] = None,
+        collect_evidence: bool = False,
+    ) -> CorpusReport:
+        """Run the deterministic corpus across a process pool.
+
+        Workers rebuild their sites from ``(master_seed, index)`` — no
+        page graphs cross process boundaries — and results merge in
+        site-index order, so the outcome is identical to the sequential
+        :meth:`check_corpus` over ``repro.sites.build_corpus``.  Worker
+        instrumentation shards are merged back into ``self.obs`` when it
+        is a live sink.  See :mod:`repro.corpus_runner`.
+        """
+        from .corpus_runner import run_corpus_parallel
+
+        results = run_corpus_parallel(
+            master_seed=master_seed,
+            limit=limit,
+            jobs=jobs,
+            seed=self.seed if seed is None else seed,
+            hb_backend=self.hb_backend,
+            timeout=timeout,
+            collect_evidence=collect_evidence,
+            obs=self.obs if self.obs.enabled else None,
+        )
+        return CorpusReport(reports=results)

@@ -1,0 +1,142 @@
+"""CorpusReport aggregation over SiteResult summaries.
+
+The parallel runner moved every table aggregation off live
+``PageReport.page`` graphs onto picklable :class:`SiteResult` records.
+These tests pin the edge cases that move exposed: empty corpora, corpora
+where every site failed, and — most importantly — that a ``SiteResult``
+summary aggregates to exactly the same numbers as the live report it
+summarizes.
+"""
+
+import pytest
+
+from repro import WebRacer
+from repro.sites import build_corpus
+from repro.webracer import RACE_TYPES, CorpusReport, SiteResult
+
+
+@pytest.fixture(scope="module")
+def small_corpus_report():
+    sites = build_corpus(master_seed=0, limit=6)
+    return WebRacer(seed=0).check_corpus(sites)
+
+
+class TestSummaryFidelity:
+    """SiteResult must reproduce its PageReport's aggregate numbers."""
+
+    def test_counts_match_live_page_report(self, small_corpus_report):
+        for result in small_corpus_report.reports:
+            live = result.page_report
+            assert live is not None  # check_corpus keeps pages by default
+            assert result.raw_counts() == live.raw_counts()
+            assert result.filtered_counts() == live.filtered_counts()
+            assert result.harmful_counts() == live.harmful_counts()
+            assert (
+                result.raw_harmful_counts()
+                == live.raw_classified.harmful_counts()
+            )
+            assert result.filter_removed == dict(live.filter_removed)
+            assert result.operations == len(live.trace.operations)
+            assert result.accesses == len(live.trace.accesses)
+
+    def test_races_mirror_classified_list(self, small_corpus_report):
+        for result in small_corpus_report.reports:
+            live = result.page_report
+            assert len(result.races) == len(live.classified.races)
+            for summary, classified in zip(
+                result.races, live.classified.races
+            ):
+                assert summary["type"] == classified.race_type
+                assert summary["harmful"] == classified.harmful
+                assert summary["description"] == classified.describe()
+
+    def test_tables_match_report_built_from_live_pages(
+        self, small_corpus_report
+    ):
+        rebuilt = CorpusReport(
+            reports=[
+                SiteResult.from_page_report(i, result.page_report)
+                for i, result in enumerate(small_corpus_report.reports)
+            ]
+        )
+        assert rebuilt.table1() == small_corpus_report.table1()
+        assert rebuilt.table2() == small_corpus_report.table2()
+        assert rebuilt.table2_totals() == small_corpus_report.table2_totals()
+        assert (
+            rebuilt.filters_removed_totals()
+            == small_corpus_report.filters_removed_totals()
+        )
+        assert (
+            rebuilt.raw_harmful_totals()
+            == small_corpus_report.raw_harmful_totals()
+        )
+
+    def test_from_page_report_drops_page_unless_asked(self, small_corpus_report):
+        live = small_corpus_report.reports[0].page_report
+        slim = SiteResult.from_page_report(0, live)
+        kept = SiteResult.from_page_report(0, live, keep_page=True)
+        assert slim.page_report is None
+        assert kept.page_report is live
+        # keep_page affects only the live reference, not the summary.
+        assert slim == kept
+
+
+class TestEmptyCorpus:
+    def test_tables_over_no_sites(self):
+        report = CorpusReport()
+        assert report.reports == []
+        table1 = report.table1()
+        for race_type in list(RACE_TYPES) + ["all"]:
+            assert table1[race_type] == {"mean": 0, "median": 0, "max": 0}
+        assert report.table2() == []
+        assert report.table2_totals() == {t: (0, 0) for t in RACE_TYPES}
+        assert report.sites_with_filtered_races() == 0
+        assert report.filters_removed_totals() == {}
+        assert report.raw_harmful_totals() == {t: 0 for t in RACE_TYPES}
+
+    def test_cli_sites_zero_sequential(self, capsys):
+        assert main_corpus(["--sites", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_cli_sites_zero_parallel(self, capsys):
+        assert main_corpus(["--sites", "0", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+
+class TestAllSitesFailed:
+    @pytest.fixture
+    def failed_report(self):
+        return CorpusReport(
+            reports=[
+                SiteResult(index=0, url="a.com", error="RuntimeError: x"),
+                SiteResult(index=1, url="b.com", error="timeout: exceeded"),
+            ]
+        )
+
+    def test_failures_partition(self, failed_report):
+        assert failed_report.ok() == []
+        assert len(failed_report.failed()) == 2
+
+    def test_tables_degrade_to_empty(self, failed_report):
+        assert failed_report.table2() == []
+        assert failed_report.table1()["all"] == {
+            "mean": 0, "median": 0, "max": 0,
+        }
+        assert failed_report.filters_removed_totals() == {}
+
+    def test_mixed_report_counts_only_successes(self, small_corpus_report):
+        mixed = CorpusReport(
+            reports=list(small_corpus_report.reports)
+            + [SiteResult(index=99, url="down.com", error="boom")]
+        )
+        assert mixed.table1() == small_corpus_report.table1()
+        assert mixed.table2_totals() == small_corpus_report.table2_totals()
+        assert len(mixed.failed()) == 1
+
+
+def main_corpus(extra):
+    from repro.__main__ import main
+
+    return main(["corpus"] + extra)
