@@ -1,0 +1,68 @@
+"""Schedule-matrix exploration: determinism pin and throughput.
+
+The exploration engine's contract is that an entire page×schedule matrix
+is a pure function of ``(pages, schedules, seed)``: every cell records a
+replayable trace, replay verifies bit-for-bit, and the merged document is
+byte-stable.  This benchmark pins those properties on the repository's
+example pages (the ones CI explores) and reports matrix throughput.
+
+Run with ``pytest benchmarks/test_schedule_matrix.py -s``.
+"""
+
+import json
+import os
+import time
+
+from repro.explain.schedule_report import assemble_explore_document
+from repro.schedule_runner import explore_pages, load_page_inputs
+
+PAGES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples", "pages")
+SCHEDULES = 8
+SEED = 0
+
+
+def _document(jobs=1, verify_replay=True):
+    pages = load_page_inputs(PAGES_DIR)
+    report = explore_pages(
+        pages, schedules=SCHEDULES, seed=SEED, jobs=jobs,
+        verify_replay=verify_replay,
+    )
+    return report, assemble_explore_document(report)
+
+
+def test_matrix_determinism_pin():
+    """Two full matrix runs emit byte-identical JSON; the example pages
+    yield the pinned stable/schedule-sensitive split."""
+    report, first = _document()
+    _, second = _document()
+    assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+    totals = first["totals"]
+    # The pinned shape of the bundled examples: form_race.html races are
+    # stable, widget_poll.html races are schedule-sensitive, and every
+    # recorded schedule replays.
+    assert totals["schedules_failed"] == 0
+    assert totals["races_stable"] == 2
+    assert totals["races_schedule_sensitive"] >= 1
+    for page in report.pages:
+        for run in page.runs:
+            assert run.replay_ok is True
+    print(
+        f"\nmatrix pin: {totals['pages']} pages x {SCHEDULES} schedules, "
+        f"{totals['races_stable']} stable + "
+        f"{totals['races_schedule_sensitive']} schedule-sensitive races"
+    )
+
+
+def test_matrix_throughput():
+    """Schedules/second for the sequential matrix (replay check off, so
+    this measures exploration itself, not verification)."""
+    _document(verify_replay=False)  # warm-up
+    started = time.perf_counter()
+    report, _ = _document(verify_replay=False)
+    elapsed = time.perf_counter() - started
+    cells = sum(len(page.runs) for page in report.pages)
+    rate = cells / elapsed
+    print(f"\nmatrix throughput: {cells} schedule runs in "
+          f"{elapsed * 1000:.0f} ms = {rate:.1f} schedules/s")
+    # Generous floor: catches order-of-magnitude regressions only.
+    assert rate > 5.0

@@ -1,0 +1,3 @@
+initWidget();
+document.getElementById('status').innerHTML = 'booted';
+inited = 100;

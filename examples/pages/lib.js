@@ -1,0 +1,2 @@
+function initWidget() { inited = inited + 1; document.getElementById('status').innerHTML = 'ready'; }
+window.libReady = true;

@@ -20,6 +20,16 @@ Commands
     (listed in the output and the ``--json`` payload) and the run
     continues.  All output paths are validated before any site runs.
 
+``explore PATH [--schedules N] [--seed N] [--jobs N] [--json out.json]``
+    Multi-schedule race exploration: run every page under ``PATH`` (an
+    HTML file or a directory of pages) under FIFO + adversarial + N−2
+    seeded-random schedules, record each schedule as a replayable trace,
+    verify replays, and merge races by fingerprint into a union report
+    marking each race *stable* or *schedule-sensitive*.
+    ``--traces-dir DIR`` saves the recorded schedule traces;
+    ``--minimize FP`` ddmin-minimizes a witnessed fingerprint's schedule
+    down to the fewest divergences from FIFO that still reproduce it.
+
 ``analyze TRACE.json``
     Re-run detection, filtering and classification on a captured trace.
 
@@ -70,6 +80,7 @@ import sys
 from typing import List, Optional
 
 from . import WebRacer
+from .browser.scheduler import SCHEDULER_POLICIES
 from .core.hb.backend import HB_BACKENDS
 from .core.render import render_crashes, render_race_report, render_table1, render_table2
 from .core.report import RACE_TYPES
@@ -119,6 +130,19 @@ def _write_output(path: str, writer) -> Optional[str]:
         return None
     except OSError as exc:
         return f"cannot write {path!r}: {exc.strerror or exc}"
+
+
+def _scheduler_args_error(args) -> Optional[str]:
+    """Why the scheduler flags are inconsistent, or ``None``.
+
+    ``--schedule-seed`` only means something under the random policy;
+    silently ignoring it would let a user believe they varied a FIFO or
+    adversarial run.
+    """
+    if getattr(args, "schedule_seed", None) is not None:
+        if getattr(args, "scheduler", "fifo") != "random":
+            return "--schedule-seed requires --scheduler random"
+    return None
 
 
 def _load_trace_cli(path: str, hb_backend: str):
@@ -243,6 +267,9 @@ def cmd_check(args) -> int:
     path_error = _validate_output_paths(args)
     if path_error:
         return _fail(path_error)
+    scheduler_error = _scheduler_args_error(args)
+    if scheduler_error:
+        return _fail(scheduler_error)
     with open(args.page) as handle:
         html = handle.read()
     resources = {}
@@ -254,7 +281,13 @@ def cmd_check(args) -> int:
         with open(path) as handle:
             resources[url] = handle.read()
     obs = _make_obs(args)
-    racer = WebRacer(seed=args.seed, hb_backend=args.hb_backend, obs=obs)
+    racer = WebRacer(
+        seed=args.seed,
+        scheduler=args.scheduler,
+        schedule_seed=args.schedule_seed,
+        hb_backend=args.hb_backend,
+        obs=obs,
+    )
     report = racer.check_page(html, resources=resources, url=args.page)
     status = _print_report(report)
     if args.json:
@@ -368,6 +401,9 @@ def cmd_corpus(args) -> int:
     path_error = _validate_output_paths(args)
     if path_error:
         return _fail(path_error)
+    scheduler_error = _scheduler_args_error(args)
+    if scheduler_error:
+        return _fail(scheduler_error)
     if args.jobs < 0:
         return _fail(f"--jobs must be >= 0, got {args.jobs}")
     from .corpus_runner import resolve_jobs
@@ -376,7 +412,13 @@ def cmd_corpus(args) -> int:
     collect_evidence = bool(args.report_json or args.report_html)
     timeout = args.site_timeout if args.site_timeout else None
     obs = _make_obs(args)
-    racer = WebRacer(seed=args.seed, hb_backend=args.hb_backend, obs=obs)
+    racer = WebRacer(
+        seed=args.seed,
+        scheduler=args.scheduler,
+        schedule_seed=args.schedule_seed,
+        hb_backend=args.hb_backend,
+        obs=obs,
+    )
     if jobs == 1:
         sites = build_corpus(master_seed=args.seed, limit=args.sites)
         corpus_report = racer.check_corpus(
@@ -439,6 +481,124 @@ def cmd_corpus(args) -> int:
     return 0
 
 
+def cmd_explore(args) -> int:
+    """Multi-schedule race exploration (the `explore` subcommand)."""
+    from .explain.schedule_report import (
+        assemble_explore_document,
+        render_explore_text,
+        write_explore_json,
+    )
+    from .schedule_runner import (
+        ScheduleTrace,
+        explore_pages,
+        load_page_inputs,
+        minimize_schedule,
+    )
+
+    path_error = _validate_output_paths(args)
+    if path_error:
+        return _fail(path_error)
+    if args.schedules < 1:
+        return _fail(f"--schedules must be >= 1, got {args.schedules}")
+    if args.jobs < 0:
+        return _fail(f"--jobs must be >= 0, got {args.jobs}")
+    if args.traces_dir:
+        if os.path.isfile(args.traces_dir):
+            return _fail(f"--traces-dir {args.traces_dir!r} is a file")
+        try:
+            os.makedirs(args.traces_dir, exist_ok=True)
+        except OSError as exc:
+            return _fail(
+                f"cannot create --traces-dir {args.traces_dir!r}: "
+                f"{exc.strerror or exc}"
+            )
+    try:
+        pages = load_page_inputs(args.path)
+    except OSError as exc:
+        return _fail(str(exc))
+    obs = _make_obs(args)
+    report = explore_pages(
+        pages,
+        schedules=args.schedules,
+        seed=args.seed,
+        jobs=args.jobs,
+        hb_backend=args.hb_backend,
+        obs=obs,
+    )
+    minimizations = []
+    if args.minimize:
+        witness = report.find_witness(args.minimize)
+        if witness is None:
+            return _fail(
+                f"fingerprint {args.minimize!r} was not witnessed by any "
+                f"schedule; nothing to minimize"
+            )
+        page_exploration, run = witness
+        page = next(p for p in pages if p.url == page_exploration.url)
+        try:
+            minimizations.append(
+                minimize_schedule(
+                    page,
+                    run.trace(),
+                    next(
+                        fp
+                        for fp in run.fingerprints
+                        if fp == args.minimize or fp.startswith(args.minimize)
+                    ),
+                    seed=args.seed,
+                    hb_backend=args.hb_backend,
+                    obs=obs,
+                )
+            )
+        except ValueError as exc:
+            return _fail(str(exc))
+    document = assemble_explore_document(report, minimizations=minimizations)
+    print(render_explore_text(document))
+    if args.json:
+        error = _write_output(
+            args.json, lambda: write_explore_json(document, args.json)
+        )
+        if error:
+            return _fail(error)
+        print(f"explore report written to {args.json}")
+    if args.traces_dir:
+        saved = 0
+        for page_exploration in report.pages:
+            stem = os.path.splitext(os.path.basename(page_exploration.url))[0]
+            for run in page_exploration.runs:
+                if run.trace_dict is None:
+                    continue
+                trace_path = os.path.join(
+                    args.traces_dir, f"{stem}.{run.sid}.trace.json"
+                )
+                error = _write_output(
+                    trace_path,
+                    lambda t=run.trace_dict, p=trace_path: ScheduleTrace.from_dict(
+                        t
+                    ).save(p),
+                )
+                if error:
+                    return _fail(error)
+                saved += 1
+        for entry in minimizations:
+            stem = os.path.splitext(os.path.basename(entry.page))[0]
+            trace_path = os.path.join(
+                args.traces_dir,
+                f"{stem}.minimized.{entry.fingerprint}.trace.json",
+            )
+            error = _write_output(
+                trace_path, lambda p=trace_path: entry.minimized.save(p)
+            )
+            if error:
+                return _fail(error)
+            saved += 1
+        print(f"{saved} schedule trace(s) written to {args.traces_dir}")
+    error = _emit_profile(args, obs, extra={"totals": document["totals"]})
+    if error:
+        return _fail(error)
+    return 0
+
+
 def cmd_analyze(args) -> int:
     """Analyse a captured trace file (the `analyze` subcommand)."""
     loaded = _load_trace_cli(args.trace, args.hb_backend)
@@ -482,6 +642,16 @@ def _add_hb_backend(parser: argparse.ArgumentParser) -> None:
                         help="happens-before representation for CHC queries")
 
 
+def _add_scheduler(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scheduler", choices=SCHEDULER_POLICIES,
+                        default="fifo",
+                        help="event-loop task scheduling policy")
+    parser.add_argument("--schedule-seed", type=int, default=None,
+                        metavar="N",
+                        help="seed for --scheduler random; per-page seeds "
+                             "derive position-independently from it")
+
+
 def _add_profiling(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--profile", action="store_true",
                         help="print a per-phase timing and counter table")
@@ -513,6 +683,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="map a sub-resource URL to a local file")
     check.add_argument("--seed", type=int, default=0)
     check.add_argument("--json", help="dump the trace to this file")
+    _add_scheduler(check)
     _add_hb_backend(check)
     _add_profiling(check)
     _add_reports(check)
@@ -530,10 +701,35 @@ def build_parser() -> argparse.ArgumentParser:
                              "site records an error and the run continues")
     corpus.add_argument("--json", metavar="FILE",
                         help="write Table 1 / Table 2 / totals as JSON")
+    _add_scheduler(corpus)
     _add_hb_backend(corpus)
     _add_profiling(corpus)
     _add_reports(corpus)
     corpus.set_defaults(func=cmd_corpus)
+
+    explore = sub.add_parser(
+        "explore",
+        help="explore a page (or directory of pages) under many schedules",
+    )
+    explore.add_argument("path", help="HTML file or directory of pages")
+    explore.add_argument("--schedules", type=int, default=8, metavar="N",
+                         help="matrix width: fifo + adversarial + N-2 "
+                              "seeded-random schedules (default 8)")
+    explore.add_argument("--seed", type=int, default=0)
+    explore.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for the page×schedule "
+                              "matrix (0 = one per CPU; default 1)")
+    explore.add_argument("--json", metavar="FILE",
+                         help="write the explore report as JSON")
+    explore.add_argument("--traces-dir", metavar="DIR",
+                         help="save every recorded schedule trace "
+                              "(replayable) into this directory")
+    explore.add_argument("--minimize", metavar="FINGERPRINT",
+                         help="ddmin-minimize a witnessed fingerprint's "
+                              "schedule (prefix match allowed)")
+    _add_hb_backend(explore)
+    _add_profiling(explore)
+    explore.set_defaults(func=cmd_explore)
 
     analyze = sub.add_parser("analyze", help="analyse a captured trace")
     analyze.add_argument("trace", help="path to a trace JSON file")

@@ -9,21 +9,26 @@ paper's automatic-exploration mode.
 from .clock import VirtualClock
 from .dispatcher import Dispatcher, DispatchResult
 from .enumerate import (
-    ReplayScheduler,
+    DecisionPrefixScheduler,
     ScheduleEnumerator,
     ScheduleOutcome,
     enumerate_page_schedules,
 )
-from .event_loop import EventLoop, Task
+from .event_loop import EventLoop, ScheduleDivergence, Task
 from .exploration import AUTO_EVENTS, AutoExplorer
 from .instrument import Monitor
 from .network import FetchResult, NetworkSimulator
 from .page import Browser, DocumentLoader, Page, PARSE_STEP_MS
 from .scheduler import (
     AdversarialScheduler,
+    DivergenceScheduler,
     FifoScheduler,
+    RecordingScheduler,
+    ReplayScheduler,
+    ScheduleTrace,
     Scheduler,
     SeededRandomScheduler,
+    derive_page_seed,
     make_scheduler,
 )
 from .timers import TimerEntry, TimerRegistry
@@ -35,8 +40,10 @@ __all__ = [
     "AdversarialScheduler",
     "AutoExplorer",
     "Browser",
+    "DecisionPrefixScheduler",
     "Dispatcher",
     "DispatchResult",
+    "DivergenceScheduler",
     "DocumentLoader",
     "EventLoop",
     "FetchResult",
@@ -45,9 +52,12 @@ __all__ = [
     "NetworkSimulator",
     "PARSE_STEP_MS",
     "Page",
+    "RecordingScheduler",
     "ReplayScheduler",
+    "ScheduleDivergence",
     "ScheduleEnumerator",
     "ScheduleOutcome",
+    "ScheduleTrace",
     "Scheduler",
     "SeededRandomScheduler",
     "Task",
@@ -56,6 +66,7 @@ __all__ = [
     "VirtualClock",
     "Window",
     "XhrBinding",
+    "derive_page_seed",
     "enumerate_page_schedules",
     "make_scheduler",
     "make_xhr_constructor",

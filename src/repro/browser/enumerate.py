@@ -10,8 +10,8 @@ exhaustively rather than by sampling seeds.
 
 The mechanism: the event loop's only nondeterminism (besides seeded
 latencies, which we hold fixed) is the scheduler's pick among
-simultaneously-ready tasks.  :class:`ReplayScheduler` follows a recorded
-decision prefix and falls back to FIFO, logging every choice point; the
+simultaneously-ready tasks.  :class:`DecisionPrefixScheduler` follows a
+recorded decision prefix and falls back to FIFO, logging every choice point; the
 enumerator then does DFS over the decision tree, re-running the whole page
 per path.  Paths are explored lazily, newest-first, so small pages are
 covered exhaustively and big ones sampled breadth-first within budget.
@@ -25,7 +25,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from .scheduler import Scheduler
 
 
-class ReplayScheduler(Scheduler):
+class DecisionPrefixScheduler(Scheduler):
     """Follows a decision prefix, then FIFO; records all choice points."""
 
     def __init__(self, decisions: Sequence[int] = ()):
@@ -87,7 +87,7 @@ class ScheduleEnumerator:
             if prefix in seen:
                 continue
             seen.add(prefix)
-            scheduler = ReplayScheduler(prefix)
+            scheduler = DecisionPrefixScheduler(prefix)
             result = self.run_page(scheduler)
             outcome = ScheduleOutcome(
                 decisions=prefix, result=result, log=list(scheduler.log)

@@ -26,6 +26,17 @@ from ..obs import NULL
 TIE_EPSILON = 1e-9
 
 
+class ScheduleDivergence(RuntimeError):
+    """A replayed schedule no longer matches the run it was recorded from.
+
+    Raised when a replaying scheduler asks for a task that is not among
+    the loop's current candidates (or when a scheduler returns a task the
+    loop never offered).  Bit-for-bit replay treats this as a hard error:
+    a diverged replay silently produces a different execution, which is
+    exactly what record/replay exists to rule out.
+    """
+
+
 @dataclass
 class Task:
     """A unit of work for the event loop."""
@@ -69,6 +80,10 @@ class EventLoop:
         self._tasks: List[Task] = []
         self._seq = itertools.count()
         self.executed_count = 0
+        #: Picks where the scheduler genuinely had a choice (>1 candidate).
+        #: This is the size of the schedule space the run actually explored
+        #: — the number a schedule-exploration matrix wants to maximize.
+        self.choice_points = 0
         #: Guard against runaway pages (interval loops never stop otherwise).
         self.max_tasks = 1_000_000
 
@@ -115,7 +130,16 @@ class EventLoop:
         candidates = [
             task for task in live if task.ready_time <= earliest + self.tie_window
         ]
+        if len(candidates) > 1:
+            self.choice_points += 1
+            if self.obs.enabled:
+                self.obs.count("loop.choice_points")
         chosen = self.scheduler.pick(candidates)
+        if not any(chosen is task for task in candidates):
+            raise ScheduleDivergence(
+                f"scheduler picked {chosen!r}, which is not among the "
+                f"{len(candidates)} ready candidate(s)"
+            )
         self._tasks.remove(chosen)
         self.clock.advance_to(chosen.ready_time)
         self.executed_count += 1

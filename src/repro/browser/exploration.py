@@ -46,28 +46,42 @@ class AutoExplorer:
         self.page = page
         self.dispatched: List[str] = []
 
+    def plan(self) -> List[tuple]:
+        """The interaction plan, in dispatch order: ``(action, element)``.
+
+        ``action`` is an event type (dispatched via
+        :meth:`~repro.browser.page.Page.queue_user_event`) or ``"type"``
+        (queued via :meth:`~repro.browser.page.Page.queue_typing`).  The
+        order is a pure function of the DOM — preorder windows, document
+        order within each, the fixed :data:`AUTO_EVENTS` order per element
+        — so two runs that built the same DOM explore identically, which
+        is what makes schedule record/replay over exploration runs sound.
+        """
+        interactions: List[tuple] = []
+        for window in self.page.window.all_windows():
+            for element in window.document.all_elements():
+                for event_type in AUTO_EVENTS:
+                    if element.has_any_handler(event_type):
+                        interactions.append((event_type, element))
+                if self._is_javascript_link(element) or (
+                    element.has_any_handler("click")
+                ):
+                    interactions.append(("click", element))
+                if self._is_typeable(element):
+                    interactions.append(("type", element))
+        return interactions
+
     def explore(self) -> None:
         """Queue all automatic interactions (run after window load)."""
         page = self.page
         delay = 0.0
-        for window in page.window.all_windows():
-            document = window.document
-            for element in document.all_elements():
-                for event_type in AUTO_EVENTS:
-                    if element.has_any_handler(event_type):
-                        page.queue_user_event(event_type, element, delay=delay)
-                        self.dispatched.append(f"{event_type}:{element!r}")
-                        delay += 0.25
-                if self._is_javascript_link(element) or (
-                    element.has_any_handler("click")
-                ):
-                    page.queue_user_event("click", element, delay=delay)
-                    self.dispatched.append(f"click:{element!r}")
-                    delay += 0.25
-                if self._is_typeable(element):
-                    page.queue_typing(element, "user input", delay=delay)
-                    self.dispatched.append(f"type:{element!r}")
-                    delay += 0.25
+        for action, element in self.plan():
+            if action == "type":
+                page.queue_typing(element, "user input", delay=delay)
+            else:
+                page.queue_user_event(action, element, delay=delay)
+            self.dispatched.append(f"{action}:{element!r}")
+            delay += 0.25
 
     # ------------------------------------------------------------------
     # eager exploration (during page load)

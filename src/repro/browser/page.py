@@ -75,6 +75,7 @@ class Browser:
         self,
         seed: int = 0,
         scheduler: Any = "fifo",
+        schedule_seed: Optional[int] = None,
         resources: Optional[Dict[str, str]] = None,
         latencies: Optional[Dict[str, float]] = None,
         min_latency: float = 5.0,
@@ -98,7 +99,12 @@ class Browser:
         self.obs = obs if obs is not None else NULL
         self.clock = VirtualClock()
         if isinstance(scheduler, str):
-            scheduler = make_scheduler(scheduler, seed=seed)
+            # `schedule_seed` decouples the scheduler's randomness from
+            # the latency seed; it defaults to the browser seed.
+            scheduler = make_scheduler(
+                scheduler,
+                seed=schedule_seed if schedule_seed is not None else seed,
+            )
         if not isinstance(scheduler, Scheduler):
             raise TypeError(f"not a scheduler: {scheduler!r}")
         if tie_window is None:

@@ -107,8 +107,13 @@ class TimerRegistry:
         if entry.repeating and not entry.cancelled:
             if entry.fire_count >= self.max_interval_fires:
                 entry.cancelled = True
+                self._prune(entry)
                 return
             self._schedule_interval(entry, fire)
+        else:
+            # One-shot fired (or an interval cancelled from its own
+            # callback): the entry is dead, drop it from the registry.
+            self._prune(entry)
 
     def clear(self, timer_id: int) -> None:
         """clearTimeout/clearInterval: cancel a pending timer."""
@@ -118,6 +123,17 @@ class TimerRegistry:
         entry.cancelled = True
         if entry.task is not None:
             entry.task.cancel()
+        self._prune(entry)
+
+    def _prune(self, entry: TimerEntry) -> None:
+        """Forget a cleared/exhausted timer.
+
+        Interval-heavy pages (the Ford polling pattern) otherwise grow
+        ``entries`` without bound and make :meth:`pending_count` scan ever
+        more dead timers.  Ids are never reused (``itertools.count``), so
+        pruning cannot resurrect an id for a different timer.
+        """
+        self.entries.pop(entry.timer_id, None)
 
     def pending_count(self) -> int:
         """Number of timers still scheduled to fire."""

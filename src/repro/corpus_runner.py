@@ -90,6 +90,8 @@ def run_site_task(payload: Dict[str, Any]) -> SiteResult:
 
     racer = WebRacer(
         seed=payload["seed"],
+        scheduler=payload.get("scheduler", "fifo"),
+        schedule_seed=payload.get("schedule_seed"),
         hb_backend=payload.get("hb_backend", "graph"),
         obs=obs,
     )
@@ -111,6 +113,8 @@ def run_corpus_parallel(
     limit: int = 100,
     jobs: int = 0,
     seed: int = 0,
+    scheduler: Any = "fifo",
+    schedule_seed: Optional[int] = None,
     hb_backend: str = "graph",
     timeout: Optional[float] = None,
     collect_evidence: bool = False,
@@ -130,6 +134,8 @@ def run_corpus_parallel(
         payload_base = {
             "master_seed": master_seed,
             "seed": seed,
+            "scheduler": scheduler,
+            "schedule_seed": schedule_seed,
             "hb_backend": hb_backend,
             "timeout": timeout,
             "collect_evidence": collect_evidence,

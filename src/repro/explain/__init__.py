@@ -36,6 +36,14 @@ from .report_json import (
     page_evidence_dict,
     write_report_json,
 )
+from .schedule_report import (
+    EXPLORE_FORMAT_NAME,
+    EXPLORE_FORMAT_VERSION,
+    assemble_explore_document,
+    render_explore_text,
+    validate_explore_document,
+    write_explore_json,
+)
 from .schema import (
     REPORT_SCHEMA,
     validate_report,
@@ -43,7 +51,13 @@ from .schema import (
 )
 
 __all__ = [
+    "EXPLORE_FORMAT_NAME",
+    "EXPLORE_FORMAT_VERSION",
     "REPORT_SCHEMA",
+    "assemble_explore_document",
+    "render_explore_text",
+    "validate_explore_document",
+    "write_explore_json",
     "RaceEvidence",
     "SideEvidence",
     "assemble_report_document",

@@ -1,0 +1,681 @@
+"""Multi-schedule race exploration (``repro explore``).
+
+WebRacer observes a *single* execution per page, so every race report is
+conditioned on one arbitrary interleaving (paper, Section 2.1).  This
+module composes the pieces the repo already has — three scheduler
+policies, stable race fingerprints, the fork-based process pool — into a
+**schedule exploration engine**:
+
+1. every page runs under a *matrix* of schedules (FIFO + adversarial +
+   N−2 seeded-random), each wrapped in a
+   :class:`~repro.browser.scheduler.RecordingScheduler` so the exact
+   sequence of task picks is captured as a replayable
+   :class:`~repro.browser.scheduler.ScheduleTrace`;
+2. the page×schedule matrix fans out over the same fork pool the corpus
+   runner uses — every cell is deterministic in its inputs, so parallel
+   and sequential runs merge byte-identically;
+3. results merge by race fingerprint into a union report that marks each
+   race **stable** (seen under every schedule that completed) or
+   **schedule-sensitive** (seen under a proper subset), with the
+   witnessing schedule ids and seeds;
+4. **schedule minimization**: ddmin over a recorded schedule's
+   divergences from FIFO order finds the smallest reordering that still
+   reproduces a target fingerprint.
+
+Exploration runs with ``tie_window=inf`` — ready times become lower
+bounds, so the scheduler chooses among *all* pending tasks and the matrix
+actually explores the interleaving space instead of only breaking exact
+ties (the same semantics :mod:`repro.browser.enumerate` uses for
+exhaustive enumeration).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .browser.event_loop import ScheduleDivergence
+from .browser.page import Browser
+from .browser.scheduler import (
+    DivergenceScheduler,
+    RecordingScheduler,
+    ReplayScheduler,
+    ScheduleTrace,
+    Scheduler,
+    derive_page_seed,
+    make_scheduler,
+)
+from .obs import NULL, Instrumentation, merge_shard, snapshot
+
+#: Exploration offers every pending task to the scheduler (see module doc).
+EXPLORE_TIE_WINDOW = float("inf")
+
+
+# ----------------------------------------------------------------------
+# the schedule matrix
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """One column of the page×schedule matrix."""
+
+    sid: str
+    policy: str
+    seed: Optional[int] = None
+
+    def build(self) -> Scheduler:
+        """Instantiate the scheduler this spec describes."""
+        return make_scheduler(self.policy, seed=self.seed or 0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"id": self.sid, "policy": self.policy, "seed": self.seed}
+
+
+def schedule_matrix(schedules: int, seed: int = 0) -> List[ScheduleSpec]:
+    """The schedule columns for an exploration of width ``schedules``.
+
+    FIFO and adversarial are always worth one run each (they are
+    deterministic); the remaining width is spent on seeded-random
+    schedules whose seeds derive from ``seed`` position-independently.
+    """
+    if schedules < 1:
+        raise ValueError(f"schedules must be >= 1, got {schedules}")
+    specs = [ScheduleSpec("fifo", "fifo")]
+    if schedules >= 2:
+        specs.append(ScheduleSpec("adversarial", "adversarial"))
+    for index in range(schedules - 2):
+        specs.append(
+            ScheduleSpec(
+                f"random-{index}", "random", derive_page_seed(seed, index)
+            )
+        )
+    return specs
+
+
+# ----------------------------------------------------------------------
+# page inputs
+
+
+@dataclass
+class PageInput:
+    """One page to explore: url, markup, and its sub-resources."""
+
+    url: str
+    html: str
+    resources: Dict[str, str] = field(default_factory=dict)
+
+
+def load_page_inputs(
+    path: str, resources: Optional[Dict[str, str]] = None
+) -> List[PageInput]:
+    """Pages from an HTML file or a directory of pages.
+
+    A file yields one page (``resources`` maps URL → content).  A
+    directory yields one page per ``*.html`` file (sorted by name); every
+    *other* file in the directory is offered to every page as a resource
+    keyed by its basename, which is how the example pages reference their
+    scripts (``<script src="hint.js">``).
+    """
+    if os.path.isfile(path):
+        with open(path) as handle:
+            html = handle.read()
+        return [PageInput(url=path, html=html, resources=dict(resources or {}))]
+    if not os.path.isdir(path):
+        raise FileNotFoundError(f"no such page or directory: {path!r}")
+    names = sorted(os.listdir(path))
+    contents: Dict[str, str] = {}
+    for name in names:
+        full = os.path.join(path, name)
+        if os.path.isfile(full):
+            with open(full) as handle:
+                contents[name] = handle.read()
+    pages: List[PageInput] = []
+    for name in names:
+        if not name.endswith(".html"):
+            continue
+        page_resources = {
+            other: content
+            for other, content in contents.items()
+            if other != name
+        }
+        page_resources.update(resources or {})
+        pages.append(
+            PageInput(
+                url=os.path.join(path, name),
+                html=contents[name],
+                resources=page_resources,
+            )
+        )
+    if not pages:
+        raise FileNotFoundError(f"no *.html pages under {path!r}")
+    return pages
+
+
+# ----------------------------------------------------------------------
+# one matrix cell
+
+
+@dataclass
+class ScheduleRunResult:
+    """Picklable outcome of one page×schedule cell."""
+
+    page: str
+    sid: str
+    policy: str
+    seed: Optional[int] = None
+    error: Optional[str] = None
+    #: Sorted distinct fingerprints of the filtered races.
+    fingerprints: List[str] = field(default_factory=list)
+    #: fingerprint → {race_type, harmful, location, description}.
+    races: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: ``ScheduleTrace.to_dict()`` of the recorded schedule.
+    trace_dict: Optional[Dict[str, Any]] = None
+    #: Replay verification outcome (None = not attempted).
+    replay_ok: Optional[bool] = None
+    operations: int = 0
+    choice_points: int = 0
+    duration_ms: float = 0.0
+    obs_snapshot: Optional[Dict[str, Any]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def trace(self) -> ScheduleTrace:
+        """The recorded schedule as a live :class:`ScheduleTrace`."""
+        if self.trace_dict is None:
+            raise ValueError(f"run {self.page}@{self.sid} recorded no trace")
+        return ScheduleTrace.from_dict(self.trace_dict)
+
+
+def _run_page_once(
+    page: PageInput,
+    scheduler: Scheduler,
+    seed: int,
+    hb_backend: str,
+    obs=None,
+) -> Tuple[Any, Any, List[str], Dict[str, Dict[str, Any]]]:
+    """One instrumented exploration run; the single run-config authority.
+
+    Every recording, replay, and minimization run goes through here, so
+    they all share the exact same page configuration — which is what
+    makes a recorded trace replayable at all.
+    """
+    from .explain.fingerprint import race_fingerprint
+    from .webracer import WebRacer
+
+    browser = Browser(
+        seed=seed,
+        scheduler=scheduler,
+        resources=dict(page.resources),
+        tie_window=EXPLORE_TIE_WINDOW,
+        hb_backend=hb_backend,
+        obs=obs if obs is not None else NULL,
+    )
+    page_obj = browser.open(page.html, url=page.url)
+    page_obj.auto_explore = True
+    page_obj.eager_explore = True
+    page_obj.run()
+    racer = WebRacer(seed=seed, hb_backend=hb_backend)
+    report = racer.report_for(page_obj, page.url)
+    races: Dict[str, Dict[str, Any]] = {}
+    for race, classified in zip(report.filtered_races, report.classified.races):
+        fingerprint = race_fingerprint(race, page_obj.trace)
+        if fingerprint not in races:
+            races[fingerprint] = {
+                "race_type": classified.race_type,
+                "harmful": classified.harmful,
+                "location": str(classified.location),
+                "description": classified.describe(),
+            }
+    return page_obj, report, sorted(races), races
+
+
+def run_page_schedule(
+    page: PageInput,
+    spec: ScheduleSpec,
+    seed: int = 0,
+    hb_backend: str = "graph",
+    verify_replay: bool = True,
+    obs=None,
+) -> ScheduleRunResult:
+    """Run one page under one schedule; record, and optionally verify.
+
+    Crash isolation mirrors the corpus runner: an exception inside the
+    cell becomes an error result instead of taking down the matrix.
+    """
+    started = time.perf_counter()
+    obs = obs if obs is not None else NULL
+    try:
+        recorder = RecordingScheduler(spec.build())
+        with obs.span(
+            "explore.run", cat="explore", page=page.url, schedule=spec.sid
+        ):
+            page_obj, _report, fingerprints, races = _run_page_once(
+                page, recorder, seed, hb_backend, obs=obs
+            )
+        trace = recorder.trace(
+            policy=spec.policy,
+            seed=spec.seed,
+            page=page.url,
+            tie_window=EXPLORE_TIE_WINDOW,
+        )
+        result = ScheduleRunResult(
+            page=page.url,
+            sid=spec.sid,
+            policy=spec.policy,
+            seed=spec.seed,
+            fingerprints=fingerprints,
+            races=races,
+            trace_dict=trace.to_dict(),
+            operations=len(page_obj.trace.operations.operations),
+            choice_points=page_obj.loop.choice_points,
+        )
+        if verify_replay:
+            result.replay_ok = replay_reproduces(
+                page, trace, fingerprints, seed=seed, hb_backend=hb_backend
+            )
+        if obs.enabled:
+            obs.count("explore.schedules_run")
+    except Exception as exc:  # crash isolation: record, don't propagate
+        message = str(exc).splitlines()[0] if str(exc) else ""
+        result = ScheduleRunResult(
+            page=page.url,
+            sid=spec.sid,
+            policy=spec.policy,
+            seed=spec.seed,
+            error=f"{type(exc).__name__}: {message}".rstrip(": "),
+        )
+    result.duration_ms = (time.perf_counter() - started) * 1000.0
+    return result
+
+
+def replay_run(
+    page: PageInput,
+    trace: ScheduleTrace,
+    seed: int = 0,
+    hb_backend: str = "graph",
+) -> List[str]:
+    """Replay a recorded schedule; returns the run's race fingerprints.
+
+    Raises :class:`~repro.browser.event_loop.ScheduleDivergence` when the
+    trace no longer matches the page — replay never silently drifts.
+    """
+    _page_obj, _report, fingerprints, _races = _run_page_once(
+        page, ReplayScheduler(trace), seed, hb_backend
+    )
+    return fingerprints
+
+
+def replay_reproduces(
+    page: PageInput,
+    trace: ScheduleTrace,
+    fingerprints: Sequence[str],
+    seed: int = 0,
+    hb_backend: str = "graph",
+) -> bool:
+    """Does replaying ``trace`` reproduce exactly these fingerprints?"""
+    try:
+        return replay_run(page, trace, seed=seed, hb_backend=hb_backend) == sorted(
+            fingerprints
+        )
+    except ScheduleDivergence:
+        return False
+
+
+# ----------------------------------------------------------------------
+# matrix execution + fingerprint merge
+
+
+@dataclass
+class PageExploration:
+    """All schedules of one page, merged by race fingerprint."""
+
+    url: str
+    runs: List[ScheduleRunResult] = field(default_factory=list)
+    #: Merged union entries, sorted by fingerprint (see ``merge_runs``).
+    races: List[Dict[str, Any]] = field(default_factory=list)
+
+    def stable(self) -> List[Dict[str, Any]]:
+        """Races every completed schedule witnessed."""
+        return [race for race in self.races if race["stable"]]
+
+    def schedule_sensitive(self) -> List[Dict[str, Any]]:
+        """Races only a proper subset of schedules witnessed."""
+        return [race for race in self.races if not race["stable"]]
+
+
+@dataclass
+class ExploreReport:
+    """The full matrix outcome: one :class:`PageExploration` per page."""
+
+    seed: int
+    specs: List[ScheduleSpec] = field(default_factory=list)
+    pages: List[PageExploration] = field(default_factory=list)
+    hb_backend: str = "graph"
+
+    def union_count(self) -> int:
+        return sum(len(page.races) for page in self.pages)
+
+    def stable_count(self) -> int:
+        return sum(len(page.stable()) for page in self.pages)
+
+    def sensitive_count(self) -> int:
+        return sum(len(page.schedule_sensitive()) for page in self.pages)
+
+    def find_witness(
+        self, fingerprint: str
+    ) -> Optional[Tuple[PageExploration, ScheduleRunResult]]:
+        """The first run witnessing ``fingerprint`` (prefix match allowed)."""
+        for page in self.pages:
+            for run in page.runs:
+                if not run.ok:
+                    continue
+                for fp in run.fingerprints:
+                    if fp == fingerprint or fp.startswith(fingerprint):
+                        return page, run
+        return None
+
+
+def merge_runs(url: str, runs: List[ScheduleRunResult]) -> PageExploration:
+    """Merge one page's schedule runs into a fingerprint-union report.
+
+    A race is *stable* when every schedule that completed witnessed it,
+    *schedule-sensitive* when only a proper subset did.  Witness lists
+    preserve matrix column order; race metadata comes from the first
+    witnessing run, so merged output is deterministic in the runs alone.
+    """
+    ok_runs = [run for run in runs if run.ok]
+    witnesses: Dict[str, List[ScheduleRunResult]] = {}
+    for run in ok_runs:
+        for fingerprint in run.fingerprints:
+            witnesses.setdefault(fingerprint, []).append(run)
+    races: List[Dict[str, Any]] = []
+    for fingerprint in sorted(witnesses):
+        seen_by = witnesses[fingerprint]
+        info = seen_by[0].races[fingerprint]
+        races.append(
+            {
+                "fingerprint": fingerprint,
+                **info,
+                "stable": len(seen_by) == len(ok_runs),
+                "witnesses": [run.sid for run in seen_by],
+                "witness_seeds": [run.seed for run in seen_by],
+                "replay_verified": all(
+                    run.replay_ok for run in seen_by
+                ) if all(run.replay_ok is not None for run in seen_by) else None,
+            }
+        )
+    return PageExploration(url=url, runs=list(runs), races=races)
+
+
+def _matrix_task(payload: Dict[str, Any]) -> ScheduleRunResult:
+    """Worker entry point for one matrix cell (module-level: picklable)."""
+    obs = None
+    if payload.get("with_obs"):
+        obs = Instrumentation()
+        parent_t0 = payload.get("obs_t0")
+        if parent_t0 is not None:
+            obs._t0 = parent_t0
+    page = PageInput(
+        url=payload["url"],
+        html=payload["html"],
+        resources=payload["resources"],
+    )
+    spec = ScheduleSpec(
+        sid=payload["sid"], policy=payload["policy"], seed=payload["spec_seed"]
+    )
+    result = run_page_schedule(
+        page,
+        spec,
+        seed=payload["seed"],
+        hb_backend=payload["hb_backend"],
+        verify_replay=payload["verify_replay"],
+        obs=obs,
+    )
+    if obs is not None:
+        result.obs_snapshot = snapshot(obs)
+    return result
+
+
+def explore_pages(
+    pages: Sequence[PageInput],
+    schedules: int = 8,
+    seed: int = 0,
+    jobs: int = 1,
+    hb_backend: str = "graph",
+    verify_replay: bool = True,
+    obs=None,
+) -> ExploreReport:
+    """Run the page×schedule matrix and merge by fingerprint.
+
+    ``jobs > 1`` fans the cells out over the corpus runner's fork pool;
+    every cell is deterministic in its payload and results merge in
+    matrix order, so parallel output is byte-identical to sequential.
+    """
+    from .corpus_runner import _pool_context, resolve_jobs
+
+    obs = obs if obs is not None else NULL
+    specs = schedule_matrix(schedules, seed=seed)
+    cells: List[Tuple[PageInput, ScheduleSpec]] = [
+        (page, spec) for page in pages for spec in specs
+    ]
+    workers = min(resolve_jobs(jobs), len(cells)) if cells else 1
+    results: List[ScheduleRunResult] = []
+    if workers <= 1:
+        for page, spec in cells:
+            results.append(
+                run_page_schedule(
+                    page,
+                    spec,
+                    seed=seed,
+                    hb_backend=hb_backend,
+                    verify_replay=verify_replay,
+                    obs=obs,
+                )
+            )
+    else:
+        live_obs = obs if getattr(obs, "enabled", False) else None
+        payload_base = {
+            "seed": seed,
+            "hb_backend": hb_backend,
+            "verify_replay": verify_replay,
+            "with_obs": live_obs is not None,
+            "obs_t0": live_obs._t0 if live_obs is not None else None,
+        }
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_pool_context()
+        ) as pool:
+            futures = []
+            for page, spec in cells:
+                payload = {
+                    **payload_base,
+                    "url": page.url,
+                    "html": page.html,
+                    "resources": dict(page.resources),
+                    "sid": spec.sid,
+                    "policy": spec.policy,
+                    "spec_seed": spec.seed,
+                }
+                futures.append(pool.submit(_matrix_task, payload))
+            for future, (page, spec) in zip(futures, cells):
+                try:
+                    results.append(future.result())
+                except Exception as exc:  # worker process died / lost
+                    results.append(
+                        ScheduleRunResult(
+                            page=page.url,
+                            sid=spec.sid,
+                            policy=spec.policy,
+                            seed=spec.seed,
+                            error=f"worker failed: {type(exc).__name__}: {exc}",
+                        )
+                    )
+        if live_obs is not None:
+            for tid, result in enumerate(results):
+                if result.obs_snapshot is not None:
+                    merge_shard(
+                        live_obs,
+                        result.obs_snapshot,
+                        tid=tid + 1,
+                        thread_name=f"{result.page}::{result.sid}",
+                    )
+                    result.obs_snapshot = None
+            for result in results:
+                if result.ok:
+                    live_obs.count("explore.schedules_run")
+    by_page: Dict[str, List[ScheduleRunResult]] = {}
+    for result in results:
+        by_page.setdefault(result.page, []).append(result)
+    report = ExploreReport(seed=seed, specs=specs, hb_backend=hb_backend)
+    for page in pages:
+        report.pages.append(merge_runs(page.url, by_page.get(page.url, [])))
+    if obs.enabled:
+        obs.count("explore.pages", len(report.pages))
+        obs.count("explore.races_stable", report.stable_count())
+        obs.count("explore.races_schedule_sensitive", report.sensitive_count())
+    return report
+
+
+# ----------------------------------------------------------------------
+# schedule minimization (ddmin)
+
+
+@dataclass
+class MinimizationResult:
+    """Outcome of minimizing one schedule against a target fingerprint."""
+
+    fingerprint: str
+    page: str
+    original: ScheduleTrace
+    minimized: ScheduleTrace
+    #: Divergence subset (indices into ``original.picks``) that survived.
+    kept_divergences: List[int] = field(default_factory=list)
+    tests_run: int = 0
+
+    @property
+    def original_divergences(self) -> int:
+        return len(self.original.divergences)
+
+    @property
+    def minimized_divergences(self) -> int:
+        return len(self.minimized.divergences)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "page": self.page,
+            "original_divergences": self.original_divergences,
+            "minimized_divergences": self.minimized_divergences,
+            "kept_divergences": list(self.kept_divergences),
+            "tests_run": self.tests_run,
+            "minimized_trace": self.minimized.to_dict(),
+        }
+
+
+def _ddmin(items: List[int], test) -> List[int]:
+    """Zeller/Hildebrandt ddmin: a 1-minimal subset of ``items`` passing
+    ``test``.  ``test`` must accept the full set (the caller checks)."""
+    if test([]):
+        return []
+    current = list(items)
+    granularity = 2
+    while len(current) >= 2:
+        chunk_size = max(1, len(current) // granularity)
+        chunks = [
+            current[i : i + chunk_size]
+            for i in range(0, len(current), chunk_size)
+        ]
+        reduced = False
+        for chunk in chunks:
+            if len(chunk) < len(current) and test(chunk):
+                current = list(chunk)
+                granularity = 2
+                reduced = True
+                break
+        if not reduced:
+            for index in range(len(chunks)):
+                complement = [
+                    item
+                    for chunk_index, chunk in enumerate(chunks)
+                    if chunk_index != index
+                    for item in chunk
+                ]
+                if len(complement) < len(current) and test(complement):
+                    current = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current
+
+
+def minimize_schedule(
+    page: PageInput,
+    trace: ScheduleTrace,
+    fingerprint: str,
+    seed: int = 0,
+    hb_backend: str = "graph",
+    obs=None,
+) -> MinimizationResult:
+    """The smallest FIFO-divergence subset still reproducing ``fingerprint``.
+
+    ddmin over the recorded schedule's divergences from FIFO order: each
+    candidate subset replays via
+    :class:`~repro.browser.scheduler.DivergenceScheduler` (recorded picks
+    at kept divergence steps, FIFO everywhere else) and passes when the
+    re-run detector still reports the target fingerprint.  Ground truth
+    is always the re-run, never the trace, so dropped divergences that
+    shift later picks cannot produce a false positive.
+
+    Raises ``ValueError`` when the full recorded schedule itself does not
+    reproduce the fingerprint (a stale trace or the wrong page).
+    """
+    obs = obs if obs is not None else NULL
+    tests = {"count": 0}
+
+    def attempt(keep: Sequence[int]) -> Optional[ScheduleTrace]:
+        tests["count"] += 1
+        recorder = RecordingScheduler(DivergenceScheduler(trace, keep))
+        _page_obj, _report, fingerprints, _races = _run_page_once(
+            page, recorder, seed, hb_backend
+        )
+        if fingerprint not in fingerprints:
+            return None
+        return recorder.trace(
+            policy="replay-min",
+            seed=trace.seed,
+            page=trace.page,
+            tie_window=trace.tie_window,
+        )
+
+    with obs.span(
+        "explore.minimize", cat="explore", page=page.url, fingerprint=fingerprint
+    ):
+        if attempt(trace.divergences) is None:
+            raise ValueError(
+                f"recorded schedule does not reproduce fingerprint "
+                f"{fingerprint!r} on {page.url!r}"
+            )
+        kept = _ddmin(
+            list(trace.divergences), lambda keep: attempt(keep) is not None
+        )
+        minimized = attempt(kept)
+        assert minimized is not None  # ddmin only returns passing subsets
+    if obs.enabled:
+        obs.count("explore.minimizations")
+        obs.count("explore.minimize_tests", tests["count"])
+    return MinimizationResult(
+        fingerprint=fingerprint,
+        page=page.url,
+        original=trace,
+        minimized=minimized,
+        kept_divergences=list(kept),
+        tests_run=tests["count"],
+    )

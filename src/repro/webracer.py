@@ -30,6 +30,12 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from .browser.page import Browser, Page
+from .browser.scheduler import (
+    Scheduler,
+    SeededRandomScheduler,
+    derive_page_seed,
+    make_scheduler,
+)
 from .core.detector import Race
 from .core.filters import FilterChain
 from .core.report import (
@@ -318,6 +324,7 @@ class WebRacer:
         self,
         seed: int = 0,
         scheduler: Any = "fifo",
+        schedule_seed: Optional[int] = None,
         explore: bool = True,
         eager: bool = True,
         apply_filters: bool = True,
@@ -331,6 +338,13 @@ class WebRacer:
     ):
         self.seed = seed
         self.scheduler = scheduler
+        #: Base seed for random scheduling; defaults to ``seed``.  Kept
+        #: separate so the schedule can vary while network latencies (and
+        #: everything else seeded) stay fixed, and vice versa.
+        self.schedule_seed = schedule_seed
+        #: Pages checked so far — the default page index when a caller
+        #: does not pass one explicitly (corpus runs pass the site index).
+        self._pages_checked = 0
         self.explore = explore
         self.eager = eager
         self.apply_filters = apply_filters
@@ -346,16 +360,38 @@ class WebRacer:
 
     # ------------------------------------------------------------------
 
+    def scheduler_for_page(self, page_index: int) -> Any:
+        """The scheduler instance used for page number ``page_index``.
+
+        String policies resolve through
+        :func:`~repro.browser.scheduler.make_scheduler`; ``"random"``
+        derives its RNG seed from ``(schedule_seed or seed, page_index)``
+        so every page's interleaving is a function of its index alone —
+        never of how many tasks earlier pages ran.  Scheduler *instances*
+        go through :meth:`~repro.browser.scheduler.Scheduler.for_page`,
+        which applies the same per-page derivation to stateful policies.
+        """
+        base_seed = self.schedule_seed if self.schedule_seed is not None else self.seed
+        scheduler = self.scheduler
+        if isinstance(scheduler, str):
+            if scheduler == "random":
+                return SeededRandomScheduler(derive_page_seed(base_seed, page_index))
+            return make_scheduler(scheduler, seed=base_seed)
+        if isinstance(scheduler, Scheduler):
+            return scheduler.for_page(page_index)
+        return scheduler
+
     def make_browser(
         self,
         resources: Optional[Dict[str, str]] = None,
         latencies: Optional[Dict[str, float]] = None,
         seed: Optional[int] = None,
+        page_index: int = 0,
     ) -> Browser:
         """A Browser configured with this detector's settings."""
         return Browser(
             seed=self.seed if seed is None else seed,
-            scheduler=self.scheduler,
+            scheduler=self.scheduler_for_page(page_index),
             resources=resources,
             latencies=latencies,
             min_latency=self.min_latency,
@@ -373,10 +409,21 @@ class WebRacer:
         latencies: Optional[Dict[str, float]] = None,
         url: str = "page.html",
         seed: Optional[int] = None,
+        page_index: Optional[int] = None,
     ) -> PageReport:
-        """Load ``html``, explore, detect, filter, classify."""
+        """Load ``html``, explore, detect, filter, classify.
+
+        ``page_index`` pins the page's position-independent identity for
+        per-page schedule derivation; when omitted, pages are numbered in
+        call order on this detector instance.
+        """
+        if page_index is None:
+            page_index = self._pages_checked
+            self._pages_checked += 1
         with self.obs.span("check_page", cat="pipeline", url=url):
-            browser = self.make_browser(resources, latencies, seed=seed)
+            browser = self.make_browser(
+                resources, latencies, seed=seed, page_index=page_index
+            )
             page = browser.open(html, url=url)
             page.auto_explore = self.explore
             page.eager_explore = self.eager
@@ -410,7 +457,9 @@ class WebRacer:
             filter_removed=filter_removed,
         )
 
-    def check_site(self, site, seed: Optional[int] = None) -> PageReport:
+    def check_site(
+        self, site, seed: Optional[int] = None, page_index: Optional[int] = None
+    ) -> PageReport:
         """Check a generated :class:`repro.sites.Site`."""
         return self.check_page(
             site.html,
@@ -418,6 +467,7 @@ class WebRacer:
             latencies=site.latencies,
             url=site.name,
             seed=seed,
+            page_index=page_index,
         )
 
     def run_site_guarded(
@@ -445,7 +495,9 @@ class WebRacer:
                 built = site() if callable(site) else site
                 url = built.name
                 with self.obs.scope(built.name):
-                    page_report = self.check_site(built, seed=site_seed)
+                    page_report = self.check_site(
+                        built, seed=site_seed, page_index=index
+                    )
                     report_page = (
                         self._site_evidence_dict(url, page_report)
                         if collect_evidence
@@ -543,6 +595,8 @@ class WebRacer:
             limit=limit,
             jobs=jobs,
             seed=self.seed if seed is None else seed,
+            scheduler=self.scheduler,
+            schedule_seed=self.schedule_seed,
             hb_backend=self.hb_backend,
             timeout=timeout,
             collect_evidence=collect_evidence,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.browser.enumerate import (
-    ReplayScheduler,
+    DecisionPrefixScheduler,
     ScheduleEnumerator,
     enumerate_page_schedules,
 )
@@ -14,26 +14,26 @@ def make_task(seq, label):
     return Task(action=lambda: None, ready_time=0.0, label=label, seq=seq)
 
 
-class TestReplayScheduler:
+class TestDecisionPrefixScheduler:
     def test_single_candidate_not_logged(self):
-        scheduler = ReplayScheduler()
+        scheduler = DecisionPrefixScheduler()
         task = make_task(0, "only")
         assert scheduler.pick([task]) is task
         assert scheduler.log == []
 
     def test_fifo_fallback(self):
-        scheduler = ReplayScheduler()
+        scheduler = DecisionPrefixScheduler()
         tasks = [make_task(1, "b"), make_task(0, "a")]
         assert scheduler.pick(tasks).label == "a"
         assert scheduler.log == [(0, 2)]
 
     def test_follows_decisions(self):
-        scheduler = ReplayScheduler([1])
+        scheduler = DecisionPrefixScheduler([1])
         tasks = [make_task(0, "a"), make_task(1, "b")]
         assert scheduler.pick(tasks).label == "b"
 
     def test_out_of_range_decision_clamped(self):
-        scheduler = ReplayScheduler([9])
+        scheduler = DecisionPrefixScheduler([9])
         tasks = [make_task(0, "a"), make_task(1, "b")]
         assert scheduler.pick(tasks).label == "b"
 

@@ -148,3 +148,39 @@ class TestEagerExploration:
     def test_dispatched_log(self):
         page = run("<div onmouseover='x=1;'></div>")
         assert any("mouseover" in entry for entry in page.explorer.dispatched)
+
+
+class TestPlanDeterminism:
+    HTML = """
+    <a href='javascript:a = 1;'>one</a>
+    <input type='text' id='q'>
+    <div onmouseover='b = 1;' onclick='c = 1;'>hover</div>
+    <iframe src='frame.html'></iframe>
+    <textarea id='t'></textarea>
+    """
+    RESOURCES = {"frame.html": "<button onclick='d = 1;'>in frame</button>"}
+
+    def test_plan_is_a_pure_function_of_the_dom(self):
+        """Two runs that built the same DOM explore identically — the
+        precondition for schedule record/replay over exploration runs."""
+        pages = [
+            run(self.HTML, resources=dict(self.RESOURCES)) for _ in range(2)
+        ]
+        plans = [
+            [(action, repr(element)) for action, element in page.explorer.plan()]
+            for page in pages
+        ]
+        assert plans[0] == plans[1]
+        assert plans[0]  # non-vacuous: the page has interactions
+
+    def test_dispatch_order_matches_plan(self):
+        page = run(self.HTML, resources=dict(self.RESOURCES))
+        planned = [
+            f"{action}:{element!r}" for action, element in page.explorer.plan()
+        ]
+        assert page.explorer.dispatched == planned
+
+    def test_dispatched_identical_across_runs(self):
+        first = run(self.HTML, resources=dict(self.RESOURCES))
+        second = run(self.HTML, resources=dict(self.RESOURCES))
+        assert first.explorer.dispatched == second.explorer.dispatched

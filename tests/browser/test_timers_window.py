@@ -81,6 +81,47 @@ class TestTimerRegistry:
         assert timers.pending_count() == 2
         loop.run()
 
+    # -- entry pruning: cleared/exhausted timers must not accumulate ----
+
+    def test_cleared_timer_pruned_from_entries(self):
+        _loop, timers = self.make()
+        timer_id = timers.set_timeout("cb", 5.0, 1, lambda e: None)
+        assert timer_id in timers.entries
+        timers.clear(timer_id)
+        assert timer_id not in timers.entries
+
+    def test_fired_timeout_pruned_from_entries(self):
+        loop, timers = self.make()
+        timer_id = timers.set_timeout("cb", 5.0, 1, lambda e: None)
+        loop.run()
+        assert timer_id not in timers.entries
+
+    def test_exhausted_interval_pruned_from_entries(self):
+        loop, timers = self.make()
+        timers.max_interval_fires = 3
+        timer_id = timers.set_interval("cb", 2.0, 1, lambda e: None)
+        loop.run()
+        assert timer_id not in timers.entries
+
+    def test_interval_cleared_from_callback_pruned(self):
+        loop, timers = self.make()
+
+        def fire(entry):
+            if entry.fire_count >= 1:
+                timers.clear(entry.timer_id)
+
+        timer_id = timers.set_interval("cb", 2.0, 1, fire)
+        loop.run()
+        assert timer_id not in timers.entries
+
+    def test_entries_bounded_on_polling_page(self):
+        """The Ford pattern: many short timers must not grow the registry."""
+        loop, timers = self.make()
+        for _ in range(50):
+            timers.set_timeout("cb", 1.0, 1, lambda e: None)
+        loop.run()
+        assert timers.entries == {}
+
 
 class TestWindow:
     def test_window_owns_document(self):
