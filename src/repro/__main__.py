@@ -30,8 +30,22 @@ Commands
     ``--minimize FP`` ddmin-minimizes a witnessed fingerprint's schedule
     down to the fewest divergences from FIFO that still reproduce it.
 
+``predict PATH [--resource url=path]... [--budget N] [--minimize] [--json out.json]``
+    Single-trace race prediction: record one FIFO execution per page
+    under ``PATH`` (an HTML file or a directory of pages), sweep the
+    trace with the schedulable-happens-before analysis
+    (:mod:`repro.core.hb.shb`), and cross-validate every predicted race
+    against the explore machinery — witness schedules run until a
+    recorded, replay-verified reordering exhibits the predicted
+    fingerprint.  Confirmed predictions report ``predicted+confirmed``
+    (with the witness schedule, and a ddmin-minimized divergence set
+    under ``--minimize``); the rest stay ``predicted-only``.
+
 ``analyze TRACE.json``
     Re-run detection, filtering and classification on a captured trace.
+    With ``--hb-backend shb`` the offline SHB prediction sweep runs too
+    and predicted races print after the report (no replay confirmation —
+    use ``predict`` for that).
 
 ``explain TRACE.json [--race N] [--no-filters]``
     Load a captured trace (written by ``check --json``) and print the full
@@ -40,11 +54,13 @@ Commands
     common happens-before ancestor, and the rule-labeled edge chain
     ordering each side under it.
 
-All commands accept ``--hb-backend {graph,chains,crosscheck}`` to
+All commands accept ``--hb-backend {graph,chains,crosscheck,shb}`` to
 select the happens-before representation answering CHC queries: the
 paper's graph with frozen ancestor sets (default), incremental chain
 vector clocks, or both cross-checked against each other (slow; raises on
-any disagreement).
+any disagreement).  ``shb`` answers online queries like ``chains`` and
+additionally runs the predictive SHB sweep after detection (``check`` /
+``analyze`` print predicted races alongside observed ones).
 
 ``check`` and ``corpus`` also accept the profiling flags:
 
@@ -143,6 +159,36 @@ def _scheduler_args_error(args) -> Optional[str]:
         if getattr(args, "scheduler", "fifo") != "random":
             return "--schedule-seed requires --scheduler random"
     return None
+
+
+def _parse_resources(mappings) -> tuple:
+    """Parse ``--resource URL=PATH`` flags into a ``{url: content}`` map.
+
+    Returns ``(resources, error)``; exactly one is ``None``.
+    """
+    resources = {}
+    for mapping in mappings or ():
+        url, _sep, path = mapping.partition("=")
+        if not path:
+            return None, f"bad --resource {mapping!r}; expected url=path"
+        try:
+            with open(path) as handle:
+                resources[url] = handle.read()
+        except OSError as exc:
+            return None, f"cannot read --resource {path!r}: {exc.strerror or exc}"
+    return resources, None
+
+
+def _print_predictions(predictions) -> None:
+    """Print SHB-predicted races (``--hb-backend shb`` runs)."""
+    if not predictions:
+        return
+    print(
+        f"\npredicted races (SHB; not reported in this schedule): "
+        f"{len(predictions)}"
+    )
+    for prediction in predictions:
+        print(f"  {prediction.describe()}")
 
 
 def _load_trace_cli(path: str, hb_backend: str):
@@ -272,14 +318,9 @@ def cmd_check(args) -> int:
         return _fail(scheduler_error)
     with open(args.page) as handle:
         html = handle.read()
-    resources = {}
-    for mapping in args.resource or ():
-        url, _sep, path = mapping.partition("=")
-        if not path:
-            print(f"bad --resource {mapping!r}; expected url=path", file=sys.stderr)
-            return 2
-        with open(path) as handle:
-            resources[url] = handle.read()
+    resources, resource_error = _parse_resources(args.resource)
+    if resource_error:
+        return _fail(resource_error)
     obs = _make_obs(args)
     racer = WebRacer(
         seed=args.seed,
@@ -290,6 +331,7 @@ def cmd_check(args) -> int:
     )
     report = racer.check_page(html, resources=resources, url=args.page)
     status = _print_report(report)
+    _print_predictions(report.predicted_races)
     if args.json:
         error = _write_output(
             args.json,
@@ -526,7 +568,12 @@ def cmd_explore(args) -> int:
         obs=obs,
     )
     minimizations = []
-    if args.minimize:
+    if args.minimize is not None:
+        # An empty fingerprint would prefix-match every race; reject it
+        # instead of silently minimizing an arbitrary one (or, worse,
+        # silently skipping minimization altogether).
+        if not args.minimize:
+            return _fail("--minimize requires a non-empty fingerprint")
         witness = report.find_witness(args.minimize)
         if witness is None:
             return _fail(
@@ -599,6 +646,60 @@ def cmd_explore(args) -> int:
     return 0
 
 
+def cmd_predict(args) -> int:
+    """Single-trace race prediction (the `predict` subcommand)."""
+    from .explain.schedule_report import (
+        assemble_predict_document,
+        render_predict_text,
+        write_predict_json,
+    )
+    from .predict import predict_pages
+    from .schedule_runner import load_page_inputs
+
+    path_error = _validate_output_paths(args)
+    if path_error:
+        return _fail(path_error)
+    if args.budget < 1:
+        return _fail(f"--budget must be >= 1, got {args.budget}")
+    resources, resource_error = _parse_resources(args.resource)
+    if resource_error:
+        return _fail(resource_error)
+    try:
+        pages = load_page_inputs(args.path, resources)
+    except OSError as exc:
+        return _fail(str(exc))
+    obs = _make_obs(args)
+    reports = predict_pages(
+        pages,
+        seed=args.seed,
+        hb_backend=args.hb_backend,
+        budget=args.budget,
+        minimize=args.minimize,
+        obs=obs,
+    )
+    document = assemble_predict_document(
+        reports, with_evidence=not args.no_evidence
+    )
+    print(render_predict_text(document))
+    if args.json:
+        error = _write_output(
+            args.json, lambda: write_predict_json(document, args.json)
+        )
+        if error:
+            return _fail(error)
+        print(f"predict report written to {args.json}")
+    error = _emit_profile(args, obs, extra={"totals": document["totals"]})
+    if error:
+        return _fail(error)
+    failed = [report for report in reports if not report.ok]
+    if failed:
+        return _fail(
+            f"{len(failed)} of {len(reports)} page(s) failed: "
+            f"{failed[0].page}: {failed[0].error}"
+        )
+    return 0
+
+
 def cmd_analyze(args) -> int:
     """Analyse a captured trace file (the `analyze` subcommand)."""
     loaded = _load_trace_cli(args.trace, args.hb_backend)
@@ -608,6 +709,10 @@ def cmd_analyze(args) -> int:
     print(f"{args.trace}: {len(loaded.trace.accesses)} accesses, "
           f"{len(loaded.trace.operations.operations)} operations")
     print(render_race_report(report, title=report.summary()))
+    if getattr(loaded.graph, "is_predictive", False):
+        analysis = loaded.predict()
+        print(f"\n{analysis.summary()}")
+        _print_predictions(analysis.predictions)
     return 1 if report.harmful() else 0
 
 
@@ -730,6 +835,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_hb_backend(explore)
     _add_profiling(explore)
     explore.set_defaults(func=cmd_explore)
+
+    predict = sub.add_parser(
+        "predict",
+        help="predict races from a single recorded trace and confirm "
+             "them by replaying witnessing reorderings",
+    )
+    predict.add_argument("path", help="HTML file or directory of pages")
+    predict.add_argument("--resource", action="append", metavar="URL=PATH",
+                         help="map a sub-resource URL to a local file "
+                              "(file mode; directories auto-map siblings)")
+    predict.add_argument("--seed", type=int, default=0)
+    predict.add_argument("--budget", type=int, default=6, metavar="N",
+                         help="witness schedules tried per page: "
+                              "adversarial + N-1 seeded-random (default 6)")
+    predict.add_argument("--minimize", action="store_true",
+                         help="ddmin-minimize each confirmed prediction's "
+                              "witness schedule")
+    predict.add_argument("--json", metavar="FILE",
+                         help="write the predict report as JSON")
+    predict.add_argument("--no-evidence", action="store_true",
+                         help="omit per-prediction HB evidence from --json")
+    _add_hb_backend(predict)
+    _add_profiling(predict)
+    predict.set_defaults(func=cmd_predict)
 
     analyze = sub.add_parser("analyze", help="analyse a captured trace")
     analyze.add_argument("trace", help="path to a trace JSON file")

@@ -43,6 +43,16 @@ class Race:
         """The two racing operation ids as a tuple."""
         return (self.prior.op_id, self.current.op_id)
 
+    def pair_key(self) -> tuple:
+        """Order-independent identity ``(location, low op, high op)``.
+
+        The key both the full-history deduplicator and the SHB
+        prediction sweep match races on: the same conflicting pair
+        reported in either access order compares equal.
+        """
+        a, b = self.prior.op_id, self.current.op_id
+        return (self.location, min(a, b), max(a, b))
+
     def describe(self) -> str:
         """Human-readable one-line description."""
         return (

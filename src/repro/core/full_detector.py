@@ -58,19 +58,14 @@ class FullHistoryDetector:
         location = current.location
         if self.dedup_per_location and location in self._reported_locations:
             return
-        pair_key = (
-            location,
-            min(prior.op_id, current.op_id),
-            max(prior.op_id, current.op_id),
-        )
+        kind = WRITE_WRITE if (prior.is_write and current.is_write) else READ_WRITE
+        race = Race(location=location, prior=prior, current=current, kind=kind)
+        pair_key = race.pair_key()
         if pair_key in self._seen_pairs:
             return
         self._seen_pairs.add(pair_key)
         self._reported_locations.add(location)
-        kind = WRITE_WRITE if (prior.is_write and current.is_write) else READ_WRITE
-        self.races.append(
-            Race(location=location, prior=prior, current=current, kind=kind)
-        )
+        self.races.append(race)
 
     # ------------------------------------------------------------------
 

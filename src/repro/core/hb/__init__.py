@@ -11,6 +11,16 @@ from .backend import (
 from .chains import IncrementalChainClocks
 from .graph import Edge, HBGraph, chc, transitive_closure_pairs
 from .rules import ALL_RULES, RuleEngine
+from .shb import (
+    SHB_RF_RULE,
+    ReadsFromEdge,
+    ShbAnalysis,
+    ShbGraph,
+    ShbPrediction,
+    build_shb,
+    predict_races,
+    reads_from_edges,
+)
 from .vector_clock import ChainVectorClocks
 from .witness import (
     RaceWitness,
@@ -32,12 +42,20 @@ __all__ = [
     "HB_BACKENDS",
     "IncrementalChainClocks",
     "RaceWitness",
+    "ReadsFromEdge",
     "RuleEngine",
+    "SHB_RF_RULE",
+    "ShbAnalysis",
+    "ShbGraph",
+    "ShbPrediction",
     "WitnessStep",
+    "build_shb",
     "chc",
     "hb_path",
     "make_backend",
     "nearest_common_ancestor",
+    "predict_races",
     "race_witness",
+    "reads_from_edges",
     "transitive_closure_pairs",
 ]

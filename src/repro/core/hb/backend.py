@@ -15,6 +15,11 @@ identical and swap the query engine:
 * ``"crosscheck"`` — :class:`CrosscheckGraph`: runs both engines on every
   query and raises :class:`BackendDisagreement` on any mismatch.  Slow;
   exists to validate the fast path against the reference one.
+* ``"shb"`` — :class:`~repro.core.hb.shb.ShbGraph`: answers online
+  queries exactly like ``chains`` but marks the run as *predictive* —
+  pipelines that see ``is_predictive`` follow detection with the offline
+  schedulable-happens-before sweep (:func:`repro.core.hb.shb.predict_races`)
+  and report races predicted for other schedules of the same trace.
 
 Every backend exposes the :class:`HBBackend` interface, so detectors and
 experiment code never care which one is live.
@@ -27,7 +32,7 @@ from typing import List, Optional, Protocol, runtime_checkable
 from .chains import IncrementalChainClocks
 from .graph import HBGraph
 
-HB_BACKENDS = ("graph", "chains", "crosscheck")
+HB_BACKENDS = ("graph", "chains", "crosscheck", "shb")
 
 
 @runtime_checkable
@@ -150,6 +155,10 @@ def make_backend(name: str, assert_forward: bool = True, obs=None) -> HBGraph:
         return ChainBackedGraph(assert_forward=assert_forward, obs=obs)
     if name == "crosscheck":
         return CrosscheckGraph(assert_forward=assert_forward, obs=obs)
+    if name == "shb":
+        from .shb import ShbGraph
+
+        return ShbGraph(assert_forward=assert_forward, obs=obs)
     raise ValueError(
         f"unknown hb backend {name!r}; expected one of {', '.join(HB_BACKENDS)}"
     )

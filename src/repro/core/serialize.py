@@ -190,6 +190,20 @@ class LoadedTrace:
             races = FilterChain().apply(races, self.trace)
         return build_report(races, self.trace)
 
+    def predict(self):
+        """Offline SHB prediction over the loaded trace.
+
+        Returns a :class:`~repro.core.hb.shb.ShbAnalysis`: the exact
+        detector's races for this trace (``observed``) plus every
+        conflicting rule-concurrent pair it missed, classified
+        ``schedulable``/``conditional`` against the schedulable
+        happens-before relation.  The loaded graph retains rule labels,
+        so a captured trace predicts exactly what the live run would.
+        """
+        from .hb.shb import predict_races
+
+        return predict_races(self.trace, self.graph, self.detect().races)
+
     def explain(self, apply_filters: bool = True):
         """Re-detect and attach HB evidence to every race.
 
@@ -210,8 +224,8 @@ def trace_from_dict(data: Dict[str, Any], hb_backend: str = "graph") -> LoadedTr
     """Reconstruct a :class:`LoadedTrace` from :func:`trace_to_dict` output.
 
     ``hb_backend`` selects the happens-before representation that answers
-    CHC queries during re-detection (``graph``, ``chains`` or
-    ``crosscheck``), so captured traces can be re-checked under either
+    CHC queries during re-detection (``graph``, ``chains``, ``crosscheck``
+    or ``shb``), so captured traces can be re-checked under either
     representation.
     """
     version = data.get("version")

@@ -40,12 +40,20 @@ from .schedule_report import (
     EXPLORE_FORMAT_NAME,
     EXPLORE_FORMAT_VERSION,
     assemble_explore_document,
+    assemble_predict_document,
     render_explore_text,
+    render_predict_text,
     validate_explore_document,
+    validate_predict_document,
     write_explore_json,
+    write_predict_json,
 )
 from .schema import (
+    PREDICT_FORMAT_NAME,
+    PREDICT_FORMAT_VERSION,
+    PREDICT_SCHEMA,
     REPORT_SCHEMA,
+    validate_predict_report,
     validate_report,
     validate_report_file,
 )
@@ -53,11 +61,19 @@ from .schema import (
 __all__ = [
     "EXPLORE_FORMAT_NAME",
     "EXPLORE_FORMAT_VERSION",
+    "PREDICT_FORMAT_NAME",
+    "PREDICT_FORMAT_VERSION",
+    "PREDICT_SCHEMA",
     "REPORT_SCHEMA",
     "assemble_explore_document",
+    "assemble_predict_document",
     "render_explore_text",
+    "render_predict_text",
     "validate_explore_document",
+    "validate_predict_document",
+    "validate_predict_report",
     "write_explore_json",
+    "write_predict_json",
     "RaceEvidence",
     "SideEvidence",
     "assemble_report_document",

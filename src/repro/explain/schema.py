@@ -171,6 +171,154 @@ REPORT_SCHEMA: Dict[str, Any] = {
     },
 }
 
+PREDICT_FORMAT_NAME = "webracer-predict-report"
+PREDICT_FORMAT_VERSION = 1
+
+_RF_EDGE = {
+    "type": "object",
+    "required": ["src", "dst", "location"],
+    "properties": {
+        "src": {"type": "integer"},
+        "dst": {"type": "integer"},
+        "location": {"type": "string"},
+    },
+}
+
+_WITNESS_RUN = {
+    "type": "object",
+    "required": ["schedule", "policy", "seed", "error", "fingerprints",
+                 "replay_ok"],
+    "properties": {
+        "schedule": {"type": "string"},
+        "policy": {"type": "string"},
+        "seed": {"type": ["integer", "null"]},
+        "error": {"type": ["string", "null"]},
+        "fingerprints": {"type": "array", "items": {"type": "string"}},
+        "replay_ok": {"type": ["boolean", "null"]},
+        "picks": {"type": "integer"},
+        "divergences": {"type": "integer"},
+    },
+}
+
+_MINIMIZATION = {
+    "type": "object",
+    "required": ["fingerprint", "page", "original_divergences",
+                 "minimized_divergences", "kept_divergences", "tests_run"],
+    "properties": {
+        "fingerprint": {"type": "string"},
+        "page": {"type": "string"},
+        "original_divergences": {"type": "integer"},
+        "minimized_divergences": {"type": "integer"},
+        "kept_divergences": {"type": "array", "items": {"type": "integer"}},
+        "tests_run": {"type": "integer"},
+        "minimized_trace": {"type": "object"},
+    },
+}
+
+_PREDICTION = {
+    "type": "object",
+    "required": [
+        "fingerprint", "status", "outcome", "kind", "location",
+        "description", "op_pair", "race_type", "harmful", "blocking_rf",
+        "confirmed", "witness", "replay_ok", "minimized",
+    ],
+    "properties": {
+        "fingerprint": {"type": "string"},
+        "status": {"type": "string", "enum": ["schedulable", "conditional"]},
+        "outcome": {
+            "type": "string",
+            "enum": ["predicted+confirmed", "predicted-only"],
+        },
+        "kind": {"type": "string", "enum": ["read-write", "write-write"]},
+        "location": {"type": "string"},
+        "description": {"type": "string"},
+        "op_pair": {"type": "array", "items": {"type": "integer"}},
+        "race_type": {
+            "type": "string",
+            "enum": ["variable", "html", "function", "event_dispatch"],
+        },
+        "harmful": {"type": "boolean"},
+        "blocking_rf": {"type": "array", "items": _RF_EDGE},
+        "confirmed": {"type": "boolean"},
+        "witness": {
+            "type": ["object", "null"],
+            "required": ["schedule", "policy", "seed"],
+            "properties": {
+                "schedule": {"type": "string"},
+                "policy": {"type": "string"},
+                "seed": {"type": ["integer", "null"]},
+            },
+        },
+        "replay_ok": {"type": ["boolean", "null"]},
+        "minimized": dict(_MINIMIZATION, type=["object", "null"]),
+        "evidence": dict(_EVIDENCE, type=["object", "null"]),
+    },
+}
+
+_PREDICT_PAGE = {
+    "type": "object",
+    "required": [
+        "url", "error", "observed", "shb", "witness_runs", "predictions",
+        "runs_executed",
+    ],
+    "properties": {
+        "url": {"type": "string"},
+        "error": {"type": ["string", "null"]},
+        "observed": {
+            "type": "object",
+            "required": ["fingerprints", "races", "pairs"],
+            "properties": {
+                "fingerprints": {"type": "array", "items": {"type": "string"}},
+                "races": {"type": "object"},
+                "pairs": {"type": "integer"},
+            },
+        },
+        "shb": {
+            "type": "object",
+            "required": ["summary", "rf_edges", "rf_racy"],
+            "properties": {
+                "summary": {"type": "string"},
+                "rf_edges": {"type": "integer"},
+                "rf_racy": {"type": "integer"},
+            },
+        },
+        "witness_runs": {"type": "array", "items": _WITNESS_RUN},
+        "predictions": {"type": "array", "items": _PREDICTION},
+        "runs_executed": {"type": "integer"},
+    },
+}
+
+#: The ``repro predict --json`` document contract.
+PREDICT_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "format", "version", "seed", "hb_backend", "budget", "pages",
+        "totals",
+    ],
+    "properties": {
+        "format": {"type": "string", "enum": [PREDICT_FORMAT_NAME]},
+        "version": {"type": "integer", "enum": [PREDICT_FORMAT_VERSION]},
+        "seed": {"type": "integer"},
+        "hb_backend": {"type": "string"},
+        "budget": {"type": "integer"},
+        "pages": {"type": "array", "items": _PREDICT_PAGE},
+        "totals": {
+            "type": "object",
+            "required": [
+                "pages", "observed", "predicted", "confirmed",
+                "predicted_only",
+            ],
+            "properties": {
+                "pages": {"type": "integer"},
+                "observed": {"type": "integer"},
+                "predicted": {"type": "integer"},
+                "confirmed": {"type": "integer"},
+                "predicted_only": {"type": "integer"},
+            },
+        },
+    },
+}
+
 _TYPES = {
     "object": dict,
     "array": list,
@@ -222,6 +370,11 @@ def _validate(value: Any, schema: Dict[str, Any], path: str) -> None:
 def validate_report(document: Dict[str, Any]) -> None:
     """Raise ``ValueError`` when ``document`` violates the report schema."""
     _validate(document, REPORT_SCHEMA, "$")
+
+
+def validate_predict_report(document: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` when ``document`` violates the predict schema."""
+    _validate(document, PREDICT_SCHEMA, "$")
 
 
 def validate_report_file(path: str) -> Dict[str, Any]:

@@ -191,7 +191,7 @@ class ScheduleRunResult:
         return ScheduleTrace.from_dict(self.trace_dict)
 
 
-def _run_page_once(
+def run_page_once(
     page: PageInput,
     scheduler: Scheduler,
     seed: int,
@@ -254,7 +254,7 @@ def run_page_schedule(
         with obs.span(
             "explore.run", cat="explore", page=page.url, schedule=spec.sid
         ):
-            page_obj, _report, fingerprints, races = _run_page_once(
+            page_obj, _report, fingerprints, races = run_page_once(
                 page, recorder, seed, hb_backend, obs=obs
             )
         trace = recorder.trace(
@@ -304,7 +304,7 @@ def replay_run(
     Raises :class:`~repro.browser.event_loop.ScheduleDivergence` when the
     trace no longer matches the page — replay never silently drifts.
     """
-    _page_obj, _report, fingerprints, _races = _run_page_once(
+    _page_obj, _report, fingerprints, _races = run_page_once(
         page, ReplayScheduler(trace), seed, hb_backend
     )
     return fingerprints
@@ -643,7 +643,7 @@ def minimize_schedule(
     def attempt(keep: Sequence[int]) -> Optional[ScheduleTrace]:
         tests["count"] += 1
         recorder = RecordingScheduler(DivergenceScheduler(trace, keep))
-        _page_obj, _report, fingerprints, _races = _run_page_once(
+        _page_obj, _report, fingerprints, _races = run_page_once(
             page, recorder, seed, hb_backend
         )
         if fingerprint not in fingerprints:

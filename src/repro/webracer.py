@@ -63,6 +63,12 @@ class PageReport:
     raw_classified: RaceReport
     #: How many races each Section 5.3 filter suppressed (name -> count).
     filter_removed: Dict[str, int] = field(default_factory=dict)
+    #: SHB-predicted races (``--hb-backend shb`` only): conflicting pairs
+    #: the exact detector missed in this schedule but that other schedules
+    #: of the same trace can exhibit (:mod:`repro.core.hb.shb`).
+    predicted_races: List[Any] = field(default_factory=list)
+    #: The full :class:`~repro.core.hb.shb.ShbAnalysis` behind them.
+    shb_analysis: Optional[Any] = None
 
     @property
     def trace(self) -> Trace:
@@ -83,10 +89,15 @@ class PageReport:
 
     def summary(self) -> str:
         """One-line page summary."""
+        predicted = (
+            f", {len(self.predicted_races)} predicted (SHB)"
+            if self.predicted_races
+            else ""
+        )
         return (
             f"{self.url}: {len(self.raw_races)} raw races, "
             f"{len(self.filtered_races)} after filtering "
-            f"({len(self.classified.harmful())} harmful) — "
+            f"({len(self.classified.harmful())} harmful){predicted} — "
             + self.classified.summary()
         )
 
@@ -443,10 +454,24 @@ class WebRacer:
         with self.obs.span("classify", cat="pipeline", races=len(raw_races)):
             classified = build_report(filtered, page.trace)
             raw_classified = build_report(raw_races, page.trace)
+        shb_analysis = None
+        predicted: List[Any] = []
+        if getattr(page.monitor.graph, "is_predictive", False):
+            from .core.hb.shb import predict_races
+
+            with self.obs.span(
+                "predict", cat="pipeline", races=len(raw_races)
+            ):
+                shb_analysis = predict_races(
+                    page.trace, page.monitor.graph, raw_races
+                )
+            predicted = list(shb_analysis.predictions)
         if self.obs.enabled:
             self.obs.count("races.raw", len(raw_races))
             self.obs.count("races.filtered", len(filtered))
             self.obs.count("races.harmful", len(classified.harmful()))
+            if predicted:
+                self.obs.count("races.predicted", len(predicted))
         return PageReport(
             url=url,
             page=page,
@@ -455,6 +480,8 @@ class WebRacer:
             classified=classified,
             raw_classified=raw_classified,
             filter_removed=filter_removed,
+            predicted_races=predicted,
+            shb_analysis=shb_analysis,
         )
 
     def check_site(

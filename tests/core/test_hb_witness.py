@@ -114,6 +114,32 @@ class TestRaceWitness:
         assert witness.path_a == [] and witness.path_b == []
         assert not witness.ordered
 
+    @pytest.mark.parametrize(
+        "backend", ["graph", "chains", "crosscheck", "shb"]
+    )
+    def test_disjoint_pair_on_every_backend(self, backend):
+        """Two root dispatches with no common HB ancestor (e.g. two
+        unrelated event sources) must yield an empty-prefix witness on
+        every backend — never raise."""
+        store = make_backend(backend)
+        store.add_edge(1, 2, "8:target-created-before-dispatch")
+        store.add_edge(3, 4, "8:target-created-before-dispatch")
+        witness = race_witness(store, 2, 4)
+        assert witness.nca is None
+        assert witness.common_ancestor_count == 0
+        assert witness.path_a == [] and witness.path_b == []
+        assert not witness.ordered
+
+    def test_disjoint_pair_isolated_roots(self):
+        """Roots with no edges at all (operations known to the store but
+        never ordered) are the degenerate disjoint case."""
+        graph = HBGraph()
+        graph.add_operation(1)
+        graph.add_operation(2)
+        witness = race_witness(graph, 1, 2)
+        assert witness.nca is None
+        assert witness.path_a == [] and witness.path_b == []
+
 
 class TestEdgeRuleProvenance:
     def test_graph_edge_rule(self):

@@ -136,3 +136,55 @@ class TestJsonRoundTrip:
         for record in evidence_for(page_report):
             dumped = json.dumps(record.to_dict())
             assert record.fingerprint in dumped
+
+
+class TestDisjointComponents:
+    """A racing pair whose HB cones are disjoint (two independent root
+    dispatches) must get a complete evidence record with an empty-prefix
+    witness — nca None, empty paths — on every backend, never a raise."""
+
+    @staticmethod
+    def _disjoint_classified(backend):
+        import pytest  # noqa: F401  (parametrize import kept local)
+
+        from repro.core.access import READ, WRITE, Access
+        from repro.core.detector import RaceDetector
+        from repro.core.hb.backend import make_backend
+        from repro.core.locations import VarLocation
+        from repro.core.report import build_report
+        from repro.core.trace import Trace
+
+        trace = Trace()
+        for _ in range(4):
+            trace.operations.create("dispatch")
+        hb = make_backend(backend)
+        hb.add_edge(1, 2, "8:target-created-before-dispatch")
+        hb.add_edge(3, 4, "8:target-created-before-dispatch")
+        location = VarLocation(cell_id=1, name="x")
+        detector = RaceDetector(hb)
+        for access in (
+            Access(kind=WRITE, op_id=2, location=location),
+            Access(kind=READ, op_id=4, location=location),
+        ):
+            detector.on_access(trace.record(access))
+        assert len(detector.races) == 1
+        report = build_report(detector.races, trace)
+        return report.races[0], trace, hb
+
+    def test_empty_prefix_witness_on_every_backend(self):
+        for backend in ("graph", "chains", "crosscheck", "shb"):
+            classified, trace, hb = self._disjoint_classified(backend)
+            record = build_race_evidence(classified, trace, hb)
+            assert record.nca is None, backend
+            assert record.common_ancestor_count == 0
+            assert record.prior.path_from_nca == []
+            assert record.current.path_from_nca == []
+            assert "disjoint" in record.explanation
+
+    def test_disjoint_record_serializes(self):
+        import json
+
+        classified, trace, hb = self._disjoint_classified("graph")
+        record = build_race_evidence(classified, trace, hb)
+        dumped = json.loads(json.dumps(record.to_dict()))
+        assert dumped["nca"] is None

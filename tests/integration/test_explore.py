@@ -248,7 +248,33 @@ class TestExploreCli:
             "--minimize", "f" * 16,
         ])
         assert status == 2
-        assert "not witnessed" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "not witnessed" in err
+        assert len(err.strip().splitlines()) == 1  # one-line diagnostic
+
+    def test_minimize_unknown_fingerprint_exits_2_with_jobs(
+        self, pages_dir, capsys
+    ):
+        """The parallel matrix path must apply the same guard — exit 2
+        with a one-line stderr, no traceback, no partial artifacts."""
+        status = main([
+            "explore", str(pages_dir), "--schedules", "2", "--jobs", "2",
+            "--minimize", "f" * 16,
+        ])
+        assert status == 2
+        err = capsys.readouterr().err
+        assert "not witnessed" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_minimize_empty_fingerprint_exits_2(self, pages_dir, capsys):
+        """An empty --minimize used to be silently ignored (falsy check);
+        worse, an empty string prefix-matches every witnessed fingerprint.
+        It must be rejected up front."""
+        status = main([
+            "explore", str(pages_dir), "--schedules", "2", "--minimize", "",
+        ])
+        assert status == 2
+        assert "non-empty" in capsys.readouterr().err
 
     def test_bad_schedules_flag_exits_2(self, pages_dir, capsys):
         assert main(["explore", str(pages_dir), "--schedules", "0"]) == 2

@@ -212,6 +212,85 @@ class TestFailureIsolation:
         }
 
 
+def _strip_timing(value):
+    """Drop wall-clock fields so profiles compare structurally."""
+    timing = ("_us", "_ms", "duration", "start", "t0", "ts")
+    if isinstance(value, dict):
+        return {
+            key: _strip_timing(val)
+            for key, val in value.items()
+            if not any(key == t or key.endswith(t) for t in timing)
+        }
+    if isinstance(value, list):
+        return [_strip_timing(item) for item in value]
+    return value
+
+
+class TestMoreJobsThanSites:
+    """``--jobs N`` with N > sites must clamp to the site count: idle
+    workers may never leave artifacts (empty shards, phantom lanes,
+    stray scope entries) in the merged output."""
+
+    def test_tables_json_identical_to_sequential(self, tmp_path, capsys):
+        seq_json = tmp_path / "seq.json"
+        par_json = tmp_path / "par.json"
+        assert main(["corpus", "--sites", "3", "--json", str(seq_json)]) == 0
+        assert (
+            main([
+                "corpus", "--sites", "3", "--jobs", "8",
+                "--json", str(par_json),
+            ])
+            == 0
+        )
+        capsys.readouterr()
+        assert seq_json.read_bytes() == par_json.read_bytes()
+
+    def test_stats_json_structurally_identical_to_sequential(
+        self, tmp_path, capsys
+    ):
+        seq_stats = tmp_path / "seq-stats.json"
+        par_stats = tmp_path / "par-stats.json"
+        main(["corpus", "--sites", "3", "--stats-json", str(seq_stats)])
+        main([
+            "corpus", "--sites", "3", "--jobs", "16",
+            "--stats-json", str(par_stats),
+        ])
+        capsys.readouterr()
+        seq = json.loads(seq_stats.read_text())
+        par = json.loads(par_stats.read_text())
+        # Everything but wall-clock timing merges identically — same
+        # scopes, same counters, same span/event counts, no extras.
+        assert _strip_timing(seq) == _strip_timing(par)
+        assert len(par["sites"]) == 3
+
+    def test_trace_lanes_match_site_count(self, tmp_path, capsys):
+        from repro.obs.trace_event import validate_trace_file
+
+        trace_path = tmp_path / "trace.json"
+        main([
+            "corpus", "--sites", "2", "--jobs", "6",
+            "--trace-out", str(trace_path),
+        ])
+        capsys.readouterr()
+        events = validate_trace_file(str(trace_path))
+        lanes = {
+            event["args"]["name"]
+            for event in events
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        # The main process always announces its own "event-loop" lane;
+        # beyond that, exactly one lane per site and none for the four
+        # idle workers.
+        assert lanes - {"event-loop"} == {"Allstate", "AmericanExpress"}
+        tids = {event["tid"] for event in events if event["ph"] == "X"}
+        assert len(tids) == 2  # exactly one lane per site, none idle
+
+    def test_worker_pool_clamped_to_site_count(self):
+        results = run_corpus_parallel(master_seed=0, limit=2, jobs=10)
+        assert [result.index for result in results] == [0, 1]
+        assert all(result.ok for result in results)
+
+
 class TestObsShardMerge:
     def test_parallel_stats_json_has_per_site_scopes(self, tmp_path, capsys):
         stats_path = tmp_path / "stats.json"
