@@ -16,15 +16,14 @@ race witnessed under two schedules gets two fingerprints.
 Run with ``pytest benchmarks/test_bench_predict.py -s``.
 """
 
-import json
 import os
 import time
 
+from repro.obs.bench import write_bench
 from repro.predict import predict_pages
 from repro.schedule_runner import explore_pages, load_page_inputs
 
 PAGES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples", "pages")
-OUT_PATH = os.path.join(os.getcwd(), "BENCH_predict.json")
 SEED = 0
 SCHEDULES = 8  # the matrix width CI explores
 #: Witness budget for the benchmark.  The adversarial witness (tried
@@ -95,29 +94,32 @@ def test_predict_vs_explore():
         else 1.0
     )
 
-    payload = {
-        "pages": len(predict_reports),
-        "seed": SEED,
-        "predict": {
-            "budget": BUDGET,
-            "wall_clock_s": round(predict_s, 4),
-            "instrumented_runs": predict_runs,
+    speedup = round(explore_s / predict_s, 2) if predict_s else None
+    write_bench(
+        "predict",
+        metrics={
+            "pages": len(predict_reports),
+            "predict_wall_clock_s": round(predict_s, 4),
+            "predict_instrumented_runs": predict_runs,
             "predicted": predicted,
             "confirmed": confirmed,
-            "coverage": sorted(map(list, predict_keys)),
+            "explore_wall_clock_s": round(explore_s, 4),
+            "explore_instrumented_runs": explore_runs,
+            "recall_vs_explore": round(recall, 4),
+            "speedup": speedup,
         },
-        "explore": {
-            "schedules": SCHEDULES,
-            "wall_clock_s": round(explore_s, 4),
-            "instrumented_runs": explore_runs,
-            "coverage": sorted(map(list, explore_keys)),
+        payload={
+            "seed": SEED,
+            "predict": {
+                "budget": BUDGET,
+                "coverage": sorted(map(list, predict_keys)),
+            },
+            "explore": {
+                "schedules": SCHEDULES,
+                "coverage": sorted(map(list, explore_keys)),
+            },
         },
-        "recall_vs_explore": round(recall, 4),
-        "speedup": round(explore_s / predict_s, 2) if predict_s else None,
-    }
-    with open(OUT_PATH, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    )
 
     print()
     print("Prediction vs exploration (single trace vs schedule matrix):")
@@ -130,7 +132,7 @@ def test_predict_vs_explore():
         f"{len(explore_keys)} race keys"
     )
     print(
-        f"  recall {recall:.2f} at {payload['speedup']}x wall-clock, "
+        f"  recall {recall:.2f} at {speedup}x wall-clock, "
         f"{explore_runs / predict_runs:.1f}x fewer instrumented runs"
         if predict_runs
         else ""

@@ -4,7 +4,9 @@ The ``repro.obs`` layer is threaded through the whole pipeline —
 event loop, monitor, detector, HB backends, filters — so its *disabled*
 cost is pure overhead on every un-profiled run.  The contract (see
 DESIGN.md) is that the default :data:`repro.obs.NULL` sink adds less than
-5% to a corpus-scale page check.
+5% to a corpus-scale page check.  The bound is measured with the run
+ledger off (the default): ``--ledger`` swaps in a live
+:class:`Instrumentation` and pays its cost knowingly.
 
 Two measurements on the same operation-heavy page:
 
@@ -19,6 +21,7 @@ import time
 
 from repro import WebRacer
 from repro.obs import NULL, Instrumentation
+from repro.obs.bench import write_bench
 
 #: Corpus-scale page: ~1200 parse steps + ~1200 script executions, plus a
 #: late script and a timer so the timer/network/dispatch paths all fire.
@@ -76,6 +79,16 @@ def test_null_sink_overhead_under_5_percent():
     null_cost = (time.perf_counter() - start) / 2  # loop did 2x volume calls
 
     ratio = null_cost / base
+    write_bench(
+        "obs_overhead",
+        metrics={
+            "page_check_ms": round(base * 1000, 3),
+            "obs_call_volume": volume,
+            "null_cost_ms": round(null_cost * 1000, 3),
+            "null_overhead_ratio": round(ratio, 5),
+        },
+        payload={"ledger": "off", "rounds": rounds},
+    )
     print()
     print("Null-sink (disabled profiling) overhead:")
     print(f"  un-profiled page check: {base * 1000:8.2f} ms")

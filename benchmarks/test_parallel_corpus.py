@@ -24,6 +24,7 @@ import time
 import pytest
 
 from repro.__main__ import main
+from repro.obs.bench import write_bench
 
 SITES = 30
 
@@ -53,6 +54,17 @@ def test_parallel_json_identical_and_faster(tmp_path, capsys):
     assert tables["sites_failed"] == 0
 
     speedup = seq_time / par_time if par_time else float("inf")
+    write_bench(
+        "parallel_corpus",
+        metrics={
+            "sites": SITES,
+            "sequential_s": round(seq_time, 4),
+            "jobs2_s": round(par_time, 4),
+            "speedup": round(speedup, 2) if par_time else None,
+            "cpus": os.cpu_count() or 1,
+        },
+        payload={"identical_output": True},
+    )
     print()
     print(f"corpus x{SITES}: sequential {seq_time:.2f}s, "
           f"--jobs 2 {par_time:.2f}s, speedup {speedup:.2f}x "

@@ -14,6 +14,7 @@ import os
 import time
 
 from repro.explain.schedule_report import assemble_explore_document
+from repro.obs.bench import write_bench
 from repro.schedule_runner import explore_pages, load_page_inputs
 
 PAGES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples", "pages")
@@ -62,6 +63,17 @@ def test_matrix_throughput():
     elapsed = time.perf_counter() - started
     cells = sum(len(page.runs) for page in report.pages)
     rate = cells / elapsed
+    write_bench(
+        "schedule_matrix",
+        metrics={
+            "pages": len(report.pages),
+            "schedules": SCHEDULES,
+            "cells": cells,
+            "elapsed_s": round(elapsed, 4),
+            "schedules_per_s": round(rate, 2),
+        },
+        payload={"seed": SEED, "verify_replay": False},
+    )
     print(f"\nmatrix throughput: {cells} schedule runs in "
           f"{elapsed * 1000:.0f} ms = {rate:.1f} schedules/s")
     # Generous floor: catches order-of-magnitude regressions only.

@@ -54,6 +54,27 @@ Commands
     common happens-before ancestor, and the rule-labeled edge chain
     ordering each side under it.
 
+``history --ledger DIR [--command CMD] [--last N] [--json F] [--html F]``
+    List the runs recorded in a ledger (see ``--ledger`` below) and the
+    lifecycle of every race fingerprint across them (new / persisting /
+    flaky / resolved).  ``--json`` writes the schema-validated history
+    document; ``--html`` writes a self-contained trend report with
+    per-phase duration sparklines.
+
+``diff RUN_A RUN_B --ledger DIR`` / ``diff --against last --ledger DIR``
+    Diff two ledgered runs: race fingerprints that are new or resolved in
+    the later run, plus per-phase wall-clock deltas.  ``--against last``
+    compares the most recent run against the latest earlier run with the
+    same command and config digest.  ``--fail-on-regression PCT`` exits
+    nonzero when any phase slowed down by more than PCT percent.
+
+``check``, ``corpus``, ``explore`` and ``predict`` all accept
+``--ledger DIR``: append one schema-validated run record (command, config
+digest, per-phase durations, counters, race fingerprints with verdicts)
+to ``DIR/ledger.jsonl`` — the persistent cross-run store ``history`` and
+``diff`` read.  Without the flag nothing is recorded and the null-sink
+zero-overhead guarantee holds unchanged.
+
 All commands accept ``--hb-backend {graph,chains,crosscheck,shb}`` to
 select the happens-before representation answering CHC queries: the
 paper's graph with frozen ancestor sets (default), incremental chain
@@ -93,6 +114,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import List, Optional
 
 from . import WebRacer
@@ -105,7 +127,14 @@ from .obs import Instrumentation, render_profile, stats_dict, write_chrome_trace
 
 #: Every flag naming an output file, validated up front so a bad path
 #: fails before — not after — an expensive run.
-OUTPUT_PATH_FLAGS = ("json", "stats_json", "trace_out", "report_json", "report_html")
+OUTPUT_PATH_FLAGS = (
+    "json",
+    "stats_json",
+    "trace_out",
+    "report_json",
+    "report_html",
+    "html",
+)
 
 
 def _fail(message: str) -> int:
@@ -213,9 +242,61 @@ def _print_report(report) -> int:
 
 
 def _make_obs(args) -> Optional[Instrumentation]:
-    """A live Instrumentation when any profiling flag asks for one."""
-    if args.profile or args.trace_out or args.stats_json:
+    """A live Instrumentation when any profiling flag asks for one.
+
+    ``--ledger`` counts: the run record snapshots per-phase spans and
+    counters, so a ledgered run needs a live collector.  Without any of
+    these flags the pipeline keeps the NULL sink (zero overhead).
+    """
+    if (
+        args.profile
+        or args.trace_out
+        or args.stats_json
+        or getattr(args, "ledger", None)
+    ):
         return Instrumentation()
+    return None
+
+
+def _ledger_dir_error(path: str) -> Optional[str]:
+    """Why ``path`` cannot hold a ledger, or ``None`` (validated up front,
+    like every output path, so a bad ledger fails before the run)."""
+    if os.path.isfile(path):
+        return f"--ledger {path!r} is a file"
+    try:
+        os.makedirs(path, exist_ok=True)
+    except OSError as exc:
+        return f"cannot create --ledger {path!r}: {exc.strerror or exc}"
+    if not os.access(path, os.W_OK):
+        return f"--ledger {path!r} is not writable"
+    return None
+
+
+def _append_ledger(args, command, config, races, totals, obs, started) -> Optional[str]:
+    """Append exactly one run record when ``--ledger`` is set.
+
+    Called once per CLI invocation, in the parent process — sharded
+    (``--jobs``) runs still yield a single record because workers never
+    see the ledger arguments.
+    """
+    if not getattr(args, "ledger", None):
+        return None
+    from .obs.ledger import Ledger, build_run_record
+
+    record = build_run_record(
+        command,
+        config,
+        races,
+        totals,
+        obs=obs,
+        duration_ms=(time.perf_counter() - started) * 1000.0,
+    )
+    try:
+        ledger = Ledger(args.ledger)
+        ledger.append(record)
+    except (OSError, ValueError) as exc:
+        return f"cannot append to ledger {args.ledger!r}: {exc}"
+    print(f"run {record['run_id']} appended to {ledger.path}")
     return None
 
 
@@ -316,6 +397,11 @@ def cmd_check(args) -> int:
     scheduler_error = _scheduler_args_error(args)
     if scheduler_error:
         return _fail(scheduler_error)
+    if args.ledger:
+        ledger_error = _ledger_dir_error(args.ledger)
+        if ledger_error:
+            return _fail(ledger_error)
+    started = time.perf_counter()
     with open(args.page) as handle:
         html = handle.read()
     resources, resource_error = _parse_resources(args.resource)
@@ -357,7 +443,49 @@ def cmd_check(args) -> int:
     )
     if error:
         return _fail(error)
+    error = _append_ledger(
+        args,
+        "check",
+        config={
+            "page": args.page,
+            "seed": args.seed,
+            "scheduler": args.scheduler,
+            "schedule_seed": args.schedule_seed,
+            "hb_backend": args.hb_backend,
+        },
+        races=_check_ledger_races(args.page, report),
+        totals={
+            "races_raw": len(report.raw_races),
+            "races_filtered": len(report.filtered_races),
+            "races_harmful": len(report.classified.harmful()),
+            "races_predicted": len(report.predicted_races),
+        },
+        obs=obs,
+        started=started,
+    )
+    if error:
+        return _fail(error)
     return status
+
+
+def _check_ledger_races(page_url: str, report) -> List[dict]:
+    """Ledger race entries for one ``check`` run (verdict ``observed``)."""
+    from .explain import race_fingerprint
+
+    entries = {}
+    for race, classified in zip(report.filtered_races, report.classified.races):
+        fingerprint = race_fingerprint(race, report.trace)
+        if fingerprint not in entries:
+            entries[fingerprint] = {
+                "fingerprint": fingerprint,
+                "verdict": "observed",
+                "race_type": classified.race_type,
+                "harmful": classified.harmful,
+                "location": str(classified.location),
+                "description": classified.describe(),
+                "page": page_url,
+            }
+    return list(entries.values())
 
 
 def _corpus_tables_dict(corpus_report, full_run: bool):
@@ -448,10 +576,17 @@ def cmd_corpus(args) -> int:
         return _fail(scheduler_error)
     if args.jobs < 0:
         return _fail(f"--jobs must be >= 0, got {args.jobs}")
+    if args.ledger:
+        ledger_error = _ledger_dir_error(args.ledger)
+        if ledger_error:
+            return _fail(ledger_error)
+    started = time.perf_counter()
     from .corpus_runner import resolve_jobs
 
     jobs = resolve_jobs(args.jobs)
-    collect_evidence = bool(args.report_json or args.report_html)
+    # The ledger needs fingerprints on the serialized site races, and
+    # those only exist when evidence is collected.
+    collect_evidence = bool(args.report_json or args.report_html or args.ledger)
     timeout = args.site_timeout if args.site_timeout else None
     obs = _make_obs(args)
     racer = WebRacer(
@@ -520,7 +655,62 @@ def cmd_corpus(args) -> int:
     error = _emit_profile(args, obs, extra={"sites": _per_site_stats(corpus_report)})
     if error:
         return _fail(error)
+    error = _append_ledger(
+        args,
+        "corpus",
+        config={
+            "sites": args.sites,
+            "seed": args.seed,
+            "scheduler": args.scheduler,
+            "schedule_seed": args.schedule_seed,
+            "hb_backend": args.hb_backend,
+            # --jobs is an execution strategy, not a semantic input:
+            # sharded and sequential runs are byte-identical by design,
+            # so they share a config digest and diff against each other.
+        },
+        races=_corpus_ledger_races(corpus_report),
+        totals={
+            "sites_checked": len(corpus_report.reports),
+            "sites_failed": len(corpus_report.failed()),
+            "sites_with_races": corpus_report.sites_with_filtered_races(),
+            "races_filtered": sum(
+                count
+                for count, _harmful in corpus_report.table2_totals().values()
+            ),
+            "races_harmful": sum(
+                harmful
+                for _count, harmful in corpus_report.table2_totals().values()
+            ),
+        },
+        obs=obs,
+        started=started,
+    )
+    if error:
+        return _fail(error)
     return 0
+
+
+def _corpus_ledger_races(corpus_report) -> List[dict]:
+    """Ledger race entries for one ``corpus`` run, one per distinct
+    ``(fingerprint, site)`` (verdict ``observed``)."""
+    entries = {}
+    for result in corpus_report.reports:
+        for race in result.races:
+            fingerprint = race.get("fingerprint")
+            if fingerprint is None:
+                continue
+            key = (fingerprint, result.url)
+            if key not in entries:
+                entries[key] = {
+                    "fingerprint": fingerprint,
+                    "verdict": "observed",
+                    "race_type": race["type"],
+                    "harmful": bool(race["harmful"]),
+                    "location": race["location"],
+                    "description": race.get("description", ""),
+                    "page": result.url,
+                }
+    return list(entries.values())
 
 
 def cmd_explore(args) -> int:
@@ -554,6 +744,11 @@ def cmd_explore(args) -> int:
                 f"cannot create --traces-dir {args.traces_dir!r}: "
                 f"{exc.strerror or exc}"
             )
+    if args.ledger:
+        ledger_error = _ledger_dir_error(args.ledger)
+        if ledger_error:
+            return _fail(ledger_error)
+    started = time.perf_counter()
     try:
         pages = load_page_inputs(args.path)
     except OSError as exc:
@@ -643,7 +838,45 @@ def cmd_explore(args) -> int:
     error = _emit_profile(args, obs, extra={"totals": document["totals"]})
     if error:
         return _fail(error)
+    error = _append_ledger(
+        args,
+        "explore",
+        config={
+            "path": args.path,
+            "schedules": args.schedules,
+            "seed": args.seed,
+            "hb_backend": args.hb_backend,
+        },
+        races=_explore_ledger_races(document),
+        totals=document["totals"],
+        obs=obs,
+        started=started,
+    )
+    if error:
+        return _fail(error)
     return 0
+
+
+def _explore_ledger_races(document) -> List[dict]:
+    """Ledger race entries from the explore document (verdict ``stable``
+    or ``schedule-sensitive`` — the matrix's own classification)."""
+    entries = []
+    for page in document["pages"]:
+        for race in page["races"]:
+            entries.append(
+                {
+                    "fingerprint": race["fingerprint"],
+                    "verdict": (
+                        "stable" if race["stable"] else "schedule-sensitive"
+                    ),
+                    "race_type": race.get("race_type", ""),
+                    "harmful": bool(race.get("harmful", False)),
+                    "location": race.get("location", ""),
+                    "description": race.get("description", ""),
+                    "page": page["url"],
+                }
+            )
+    return entries
 
 
 def cmd_predict(args) -> int:
@@ -661,6 +894,11 @@ def cmd_predict(args) -> int:
         return _fail(path_error)
     if args.budget < 1:
         return _fail(f"--budget must be >= 1, got {args.budget}")
+    if args.ledger:
+        ledger_error = _ledger_dir_error(args.ledger)
+        if ledger_error:
+            return _fail(ledger_error)
+    started = time.perf_counter()
     resources, resource_error = _parse_resources(args.resource)
     if resource_error:
         return _fail(resource_error)
@@ -697,7 +935,62 @@ def cmd_predict(args) -> int:
             f"{len(failed)} of {len(reports)} page(s) failed: "
             f"{failed[0].page}: {failed[0].error}"
         )
+    error = _append_ledger(
+        args,
+        "predict",
+        config={
+            "path": args.path,
+            "seed": args.seed,
+            "budget": args.budget,
+            "minimize": bool(args.minimize),
+            "hb_backend": args.hb_backend,
+        },
+        races=_predict_ledger_races(document),
+        totals=document["totals"],
+        obs=obs,
+        started=started,
+    )
+    if error:
+        return _fail(error)
     return 0
+
+
+def _predict_ledger_races(document) -> List[dict]:
+    """Ledger race entries from the predict document: the base run's
+    observed races plus every prediction, with its confirmation verdict."""
+    entries = []
+    for page in document["pages"]:
+        if page["error"] is not None:
+            continue
+        for fingerprint, info in sorted(page["observed"]["races"].items()):
+            entries.append(
+                {
+                    "fingerprint": fingerprint,
+                    "verdict": "observed",
+                    "race_type": info.get("race_type", ""),
+                    "harmful": bool(info.get("harmful", False)),
+                    "location": info.get("location", ""),
+                    "description": info.get("description", ""),
+                    "page": page["url"],
+                }
+            )
+        for prediction in page["predictions"]:
+            entries.append(
+                {
+                    "fingerprint": prediction["fingerprint"],
+                    "verdict": (
+                        "predicted+confirmed"
+                        if prediction["confirmed"]
+                        else "predicted-only"
+                    ),
+                    "race_type": prediction.get("race_type", ""),
+                    "harmful": bool(prediction.get("harmful", False)),
+                    "location": prediction.get("location", ""),
+                    "description": prediction.get("description", ""),
+                    "page": page["url"],
+                }
+            )
+    return entries
 
 
 def cmd_analyze(args) -> int:
@@ -742,6 +1035,108 @@ def cmd_explain(args) -> int:
     return 1 if report.harmful() else 0
 
 
+def cmd_history(args) -> int:
+    """List the run ledger and fingerprint lifecycle (`history`)."""
+    from .explain import (
+        assemble_history_document,
+        render_history_json,
+        render_history_text,
+        write_trend_html,
+    )
+    from .obs.ledger import Ledger, LedgerError
+
+    path_error = _validate_output_paths(args)
+    if path_error:
+        return _fail(path_error)
+    ledger = Ledger(args.ledger)
+    try:
+        records = ledger.records()
+    except LedgerError as exc:
+        return _fail(str(exc))
+    document = assemble_history_document(
+        records,
+        ledger.path,
+        command=args.filter_command,
+        limit=args.last,
+    )
+    print(render_history_text(document))
+    if args.json:
+
+        def _write_json():
+            with open(args.json, "w") as handle:
+                handle.write(render_history_json(document))
+
+        error = _write_output(args.json, _write_json)
+        if error:
+            return _fail(error)
+        print(f"history report written to {args.json}")
+    if args.html:
+        error = _write_output(
+            args.html, lambda: write_trend_html(document, args.html)
+        )
+        if error:
+            return _fail(error)
+        print(f"trend report (HTML) written to {args.html}")
+    return 0
+
+
+def cmd_diff(args) -> int:
+    """Diff two ledgered runs: races and per-phase perf (`diff`)."""
+    from .obs.ledger import Ledger, LedgerError
+    from .obs.regress import diff_records, perf_regressions, render_diff_text
+
+    path_error = _validate_output_paths(args)
+    if path_error:
+        return _fail(path_error)
+    if args.against is not None and args.runs:
+        return _fail("give either RUN_A RUN_B or --against, not both")
+    if args.against is None and len(args.runs) != 2:
+        return _fail("diff needs two run references (or --against last)")
+    if args.fail_on_regression is not None and args.fail_on_regression <= 0:
+        return _fail(
+            f"--fail-on-regression must be > 0, got {args.fail_on_regression}"
+        )
+    ledger = Ledger(args.ledger)
+    try:
+        if args.against is not None:
+            record_b = ledger.find("-1")
+            if args.against == "last":
+                record_a = ledger.baseline_for(record_b)
+                if record_a is None:
+                    return _fail(
+                        f"no earlier {record_b['command']!r} run with config "
+                        f"digest {record_b['config_digest']} to diff against"
+                    )
+            else:
+                record_a = ledger.find(args.against)
+        else:
+            record_a = ledger.find(args.runs[0])
+            record_b = ledger.find(args.runs[1])
+    except LedgerError as exc:
+        return _fail(str(exc))
+    diff = diff_records(record_a, record_b)
+    regressions = (
+        perf_regressions(diff, args.fail_on_regression)
+        if args.fail_on_regression is not None
+        else []
+    )
+    print(render_diff_text(diff, regressions))
+    if args.json:
+
+        def _write_json():
+            with open(args.json, "w") as handle:
+                json.dump(diff.to_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+
+        error = _write_output(args.json, _write_json)
+        if error:
+            return _fail(error)
+        print(f"diff written to {args.json}")
+    if regressions:
+        return 1
+    return 0
+
+
 def _add_hb_backend(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--hb-backend", choices=HB_BACKENDS, default="graph",
                         help="happens-before representation for CHC queries")
@@ -764,6 +1159,13 @@ def _add_profiling(parser: argparse.ArgumentParser) -> None:
                         help="write a Chrome trace-event file (chrome://tracing)")
     parser.add_argument("--stats-json", metavar="FILE",
                         help="write phase timings and counters as JSON")
+
+
+def _add_ledger(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--ledger", metavar="DIR",
+                        help="append this run's record to DIR/ledger.jsonl "
+                             "(cross-run history for `repro history` and "
+                             "`repro diff`)")
 
 
 def _add_reports(parser: argparse.ArgumentParser) -> None:
@@ -792,6 +1194,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_hb_backend(check)
     _add_profiling(check)
     _add_reports(check)
+    _add_ledger(check)
     check.set_defaults(func=cmd_check)
 
     corpus = sub.add_parser("corpus", help="run the Fortune-100 evaluation")
@@ -810,6 +1213,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_hb_backend(corpus)
     _add_profiling(corpus)
     _add_reports(corpus)
+    _add_ledger(corpus)
     corpus.set_defaults(func=cmd_corpus)
 
     explore = sub.add_parser(
@@ -834,6 +1238,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "schedule (prefix match allowed)")
     _add_hb_backend(explore)
     _add_profiling(explore)
+    _add_ledger(explore)
     explore.set_defaults(func=cmd_explore)
 
     predict = sub.add_parser(
@@ -858,6 +1263,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="omit per-prediction HB evidence from --json")
     _add_hb_backend(predict)
     _add_profiling(predict)
+    _add_ledger(predict)
     predict.set_defaults(func=cmd_predict)
 
     analyze = sub.add_parser("analyze", help="analyse a captured trace")
@@ -875,6 +1281,45 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--no-filters", action="store_true")
     _add_hb_backend(explain)
     explain.set_defaults(func=cmd_explain)
+
+    history = sub.add_parser(
+        "history",
+        help="list ledgered runs and race-fingerprint lifecycle trends",
+    )
+    history.add_argument("--ledger", required=True, metavar="DIR",
+                         help="ledger directory (holds ledger.jsonl)")
+    history.add_argument("--command", dest="filter_command",
+                         choices=("check", "corpus", "explore", "predict"),
+                         help="only runs of this subcommand")
+    history.add_argument("--last", type=int, metavar="N",
+                         help="only the N most recent runs (after filtering)")
+    history.add_argument("--json", metavar="FILE",
+                         help="write the schema-validated history document")
+    history.add_argument("--html", metavar="FILE",
+                         help="write a self-contained HTML trend report "
+                              "with per-phase duration sparklines")
+    history.set_defaults(func=cmd_history)
+
+    diff = sub.add_parser(
+        "diff",
+        help="diff two ledgered runs: new/resolved races and per-phase "
+             "perf deltas",
+    )
+    diff.add_argument("runs", nargs="*", metavar="RUN",
+                      help="two run references: run id, unique id prefix, "
+                           "or index (-1 = latest)")
+    diff.add_argument("--ledger", required=True, metavar="DIR",
+                      help="ledger directory (holds ledger.jsonl)")
+    diff.add_argument("--against", metavar="REF",
+                      help="diff the latest run against REF; 'last' picks "
+                           "the most recent earlier run with the same "
+                           "command and config digest")
+    diff.add_argument("--fail-on-regression", type=float, metavar="PCT",
+                      help="exit nonzero when any phase (or the whole run) "
+                           "slowed down by more than PCT percent")
+    diff.add_argument("--json", metavar="FILE",
+                      help="write the diff as JSON")
+    diff.set_defaults(func=cmd_diff)
     return parser
 
 

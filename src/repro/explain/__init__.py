@@ -49,22 +49,50 @@ from .schedule_report import (
     write_predict_json,
 )
 from .schema import (
+    HISTORY_FORMAT_NAME,
+    HISTORY_FORMAT_VERSION,
+    HISTORY_SCHEMA,
     PREDICT_FORMAT_NAME,
     PREDICT_FORMAT_VERSION,
     PREDICT_SCHEMA,
     REPORT_SCHEMA,
+    RUN_RECORD_FORMAT_NAME,
+    RUN_RECORD_FORMAT_VERSION,
+    RUN_RECORD_SCHEMA,
+    validate_history_report,
     validate_predict_report,
     validate_report,
     validate_report_file,
+    validate_run_record,
+)
+from .trend_report import (
+    assemble_history_document,
+    render_history_json,
+    render_history_text,
+    render_trend_html,
+    write_trend_html,
 )
 
 __all__ = [
     "EXPLORE_FORMAT_NAME",
     "EXPLORE_FORMAT_VERSION",
+    "HISTORY_FORMAT_NAME",
+    "HISTORY_FORMAT_VERSION",
+    "HISTORY_SCHEMA",
     "PREDICT_FORMAT_NAME",
     "PREDICT_FORMAT_VERSION",
     "PREDICT_SCHEMA",
     "REPORT_SCHEMA",
+    "RUN_RECORD_FORMAT_NAME",
+    "RUN_RECORD_FORMAT_VERSION",
+    "RUN_RECORD_SCHEMA",
+    "assemble_history_document",
+    "render_history_json",
+    "render_history_text",
+    "render_trend_html",
+    "validate_history_report",
+    "validate_run_record",
+    "write_trend_html",
     "assemble_explore_document",
     "assemble_predict_document",
     "render_explore_text",

@@ -319,6 +319,144 @@ PREDICT_SCHEMA: Dict[str, Any] = {
     },
 }
 
+RUN_RECORD_FORMAT_NAME = "webracer-run-record"
+RUN_RECORD_FORMAT_VERSION = 1
+
+_RUN_RACE = {
+    "type": "object",
+    "required": [
+        "fingerprint", "verdict", "race_type", "harmful", "location", "page",
+    ],
+    "properties": {
+        "fingerprint": {"type": "string"},
+        "verdict": {
+            "type": "string",
+            "enum": [
+                "observed",
+                "stable",
+                "schedule-sensitive",
+                "predicted+confirmed",
+                "predicted-only",
+            ],
+        },
+        "race_type": {"type": "string"},
+        "harmful": {"type": "boolean"},
+        "location": {"type": "string"},
+        "page": {"type": "string"},
+        "description": {"type": "string"},
+    },
+}
+
+#: One ``--ledger`` run record: the ``repro.obs.ledger`` line format.
+RUN_RECORD_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "format", "version", "run_id", "timestamp", "command", "config",
+        "config_digest", "duration_ms", "phases", "counters", "totals",
+        "races",
+    ],
+    "properties": {
+        "format": {"type": "string", "enum": [RUN_RECORD_FORMAT_NAME]},
+        "version": {"type": "integer", "enum": [RUN_RECORD_FORMAT_VERSION]},
+        "run_id": {"type": "string"},
+        "timestamp": {"type": "string"},
+        "command": {
+            "type": "string",
+            "enum": ["check", "corpus", "explore", "predict"],
+        },
+        "config": {"type": "object"},
+        "config_digest": {"type": "string"},
+        "duration_ms": {"type": "number"},
+        # Phase/counter names are dynamic (span names); values are
+        # checked structurally by the ledger's builders.
+        "phases": {"type": "object"},
+        "counters": {"type": "object"},
+        "totals": {"type": "object"},
+        "races": {"type": "array", "items": _RUN_RACE},
+    },
+}
+
+HISTORY_FORMAT_NAME = "webracer-history-report"
+HISTORY_FORMAT_VERSION = 1
+
+_HISTORY_RUN = {
+    "type": "object",
+    "required": [
+        "run_id", "timestamp", "command", "config_digest", "duration_ms",
+        "races", "phases",
+    ],
+    "properties": {
+        "run_id": {"type": "string"},
+        "timestamp": {"type": "string"},
+        "command": {"type": "string"},
+        "config_digest": {"type": "string"},
+        "duration_ms": {"type": "number"},
+        "races": {
+            "type": "object",
+            "required": ["total", "harmful", "by_verdict"],
+            "properties": {
+                "total": {"type": "integer"},
+                "harmful": {"type": "integer"},
+                "by_verdict": {"type": "object"},
+            },
+        },
+        "phases": {"type": "object"},
+    },
+}
+
+_LIFECYCLE_ENTRY = {
+    "type": "object",
+    "required": [
+        "fingerprint", "status", "first_seen", "last_seen", "occurrences",
+        "runs_considered", "race_type", "harmful", "location", "verdict",
+    ],
+    "properties": {
+        "fingerprint": {"type": "string"},
+        "status": {
+            "type": "string",
+            "enum": ["new", "persisting", "resolved", "flaky"],
+        },
+        "first_seen": {"type": "string"},
+        "last_seen": {"type": "string"},
+        "occurrences": {"type": "integer"},
+        "runs_considered": {"type": "integer"},
+        "race_type": {"type": "string"},
+        "harmful": {"type": "boolean"},
+        "location": {"type": "string"},
+        "verdict": {"type": "string"},
+    },
+}
+
+#: The ``repro history --json`` document contract (also what the HTML
+#: trend report renders from — one source of truth for both formats).
+HISTORY_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["format", "version", "ledger", "runs", "fingerprints",
+                 "totals"],
+    "properties": {
+        "format": {"type": "string", "enum": [HISTORY_FORMAT_NAME]},
+        "version": {"type": "integer", "enum": [HISTORY_FORMAT_VERSION]},
+        "ledger": {"type": "string"},
+        "runs": {"type": "array", "items": _HISTORY_RUN},
+        "fingerprints": {"type": "array", "items": _LIFECYCLE_ENTRY},
+        "totals": {
+            "type": "object",
+            "required": [
+                "runs", "fingerprints", "new", "persisting", "resolved",
+                "flaky",
+            ],
+            "properties": {
+                "runs": {"type": "integer"},
+                "fingerprints": {"type": "integer"},
+                "new": {"type": "integer"},
+                "persisting": {"type": "integer"},
+                "resolved": {"type": "integer"},
+                "flaky": {"type": "integer"},
+            },
+        },
+    },
+}
+
 _TYPES = {
     "object": dict,
     "array": list,
@@ -375,6 +513,16 @@ def validate_report(document: Dict[str, Any]) -> None:
 def validate_predict_report(document: Dict[str, Any]) -> None:
     """Raise ``ValueError`` when ``document`` violates the predict schema."""
     _validate(document, PREDICT_SCHEMA, "$")
+
+
+def validate_run_record(record: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` when a ledger record violates its schema."""
+    _validate(record, RUN_RECORD_SCHEMA, "$")
+
+
+def validate_history_report(document: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` when ``document`` violates the history schema."""
+    _validate(document, HISTORY_SCHEMA, "$")
 
 
 def validate_report_file(path: str) -> Dict[str, Any]:

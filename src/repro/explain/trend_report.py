@@ -1,0 +1,284 @@
+"""Cross-run history and trend reporting (``repro history``).
+
+Renders the run ledger (:mod:`repro.obs.ledger`) three ways from one
+assembled, schema-validated document
+(:data:`repro.explain.schema.HISTORY_SCHEMA`):
+
+* ``repro history`` — a terminal table of runs plus the
+  fingerprint-lifecycle summary;
+* ``repro history --json`` — the document itself, machine-readable;
+* ``repro history --html`` — a dependency-free single-file HTML trend
+  report with per-phase duration sparklines (inline SVG, same visual
+  language as the ``--report-html`` evidence timelines).
+
+Like every ``repro.explain`` renderer, the document is the single source
+of truth: text, JSON and HTML all read the same validated shape.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .html_report import _CSS, _esc
+from .schema import (
+    HISTORY_FORMAT_NAME,
+    HISTORY_FORMAT_VERSION,
+    validate_history_report,
+)
+
+
+def _run_summary(record: Dict[str, Any]) -> Dict[str, Any]:
+    by_verdict: Dict[str, int] = {}
+    harmful = 0
+    for race in record.get("races", ()):
+        verdict = race.get("verdict", "observed")
+        by_verdict[verdict] = by_verdict.get(verdict, 0) + 1
+        if race.get("harmful"):
+            harmful += 1
+    return {
+        "run_id": record["run_id"],
+        "timestamp": record["timestamp"],
+        "command": record["command"],
+        "config_digest": record["config_digest"],
+        "duration_ms": record.get("duration_ms", 0.0),
+        "races": {
+            "total": len(record.get("races", ())),
+            "harmful": harmful,
+            "by_verdict": dict(sorted(by_verdict.items())),
+        },
+        "phases": {
+            name: phase.get("total_ms", 0.0)
+            for name, phase in sorted(record.get("phases", {}).items())
+        },
+    }
+
+
+def assemble_history_document(
+    records: List[Dict[str, Any]],
+    ledger_path: str,
+    command: Optional[str] = None,
+    limit: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Build and validate the history document from ledger records.
+
+    ``command`` filters to one subcommand's runs; ``limit`` keeps only
+    the most recent N (after filtering).  The lifecycle index is computed
+    over the *filtered* run sequence so "new"/"resolved" answer the
+    question the filter asks.
+    """
+    # Lazy import keeps repro.explain importable without repro.obs being
+    # initialised first (both ride on repro.core).
+    from ..obs.ledger import lifecycle_index
+
+    selected = [
+        record
+        for record in records
+        if command is None or record["command"] == command
+    ]
+    if limit is not None and limit > 0:
+        selected = selected[-limit:]
+    fingerprints = lifecycle_index(selected)
+    totals = {
+        "runs": len(selected),
+        "fingerprints": len(fingerprints),
+        "new": sum(1 for f in fingerprints if f["status"] == "new"),
+        "persisting": sum(
+            1 for f in fingerprints if f["status"] == "persisting"
+        ),
+        "resolved": sum(1 for f in fingerprints if f["status"] == "resolved"),
+        "flaky": sum(1 for f in fingerprints if f["status"] == "flaky"),
+    }
+    document = {
+        "format": HISTORY_FORMAT_NAME,
+        "version": HISTORY_FORMAT_VERSION,
+        "ledger": ledger_path,
+        "runs": [_run_summary(record) for record in selected],
+        "fingerprints": fingerprints,
+        "totals": totals,
+    }
+    validate_history_report(document)
+    return document
+
+
+# ----------------------------------------------------------------------
+# terminal rendering
+
+
+def render_history_text(document: Dict[str, Any]) -> str:
+    """Terminal table of runs plus the fingerprint lifecycle."""
+    totals = document["totals"]
+    lines = [
+        f"ledger {document['ledger']}: {totals['runs']} run(s), "
+        f"{totals['fingerprints']} distinct fingerprint(s) "
+        f"({totals['new']} new, {totals['persisting']} persisting, "
+        f"{totals['flaky']} flaky, {totals['resolved']} resolved)"
+    ]
+    if document["runs"]:
+        lines.append(
+            f"  {'run':18s} {'command':8s} {'config':16s} "
+            f"{'races':>5s} {'harmful':>7s} {'ms':>10s}  timestamp"
+        )
+        for run in document["runs"]:
+            lines.append(
+                f"  {run['run_id'][:18]:18s} {run['command']:8s} "
+                f"{run['config_digest']:16s} "
+                f"{run['races']['total']:5d} {run['races']['harmful']:7d} "
+                f"{run['duration_ms']:10.1f}  {run['timestamp']}"
+            )
+    for entry in document["fingerprints"]:
+        lines.append(
+            f"  {entry['status'].upper():10s} {entry['fingerprint']}  "
+            f"{entry['race_type']}"
+            f"{' harmful' if entry['harmful'] else ''}  "
+            f"[{entry['verdict']}] seen {entry['occurrences']}/"
+            f"{entry['runs_considered']} runs  {entry['location']}"
+        )
+    return "\n".join(lines)
+
+
+def render_history_json(document: Dict[str, Any]) -> str:
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+# ----------------------------------------------------------------------
+# HTML trend report
+
+
+def _sparkline_svg(values: List[float], label: str) -> str:
+    """One inline-SVG sparkline of a per-phase duration series."""
+    if not values:
+        return ""
+    width, height, pad = 220, 34, 4
+    peak = max(values) or 1.0
+    if len(values) == 1:
+        xs = [width / 2.0]
+    else:
+        step = (width - 2 * pad) / (len(values) - 1)
+        xs = [pad + index * step for index in range(len(values))]
+    points = " ".join(
+        f"{x:.1f},{height - pad - (value / peak) * (height - 2 * pad):.1f}"
+        for x, value in zip(xs, values)
+    )
+    last = values[-1]
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="{_esc(label)} trend">'
+        f'<polyline points="{points}" fill="none" stroke="#2c5f8a" '
+        'stroke-width="1.5"/>'
+        f'<circle cx="{xs[-1]:.1f}" '
+        f'cy="{height - pad - (last / peak) * (height - 2 * pad):.1f}" '
+        'r="2.5" fill="#c0392b"/>'
+        "</svg>"
+    )
+
+
+def _phase_series(document: Dict[str, Any]) -> Dict[str, List[float]]:
+    names = sorted(
+        {name for run in document["runs"] for name in run["phases"]}
+    )
+    return {
+        name: [run["phases"].get(name, 0.0) for run in document["runs"]]
+        for name in names
+    }
+
+
+def _runs_table_html(document: Dict[str, Any]) -> str:
+    rows = "".join(
+        "<tr>"
+        f"<td class='mono'>{_esc(run['run_id'])}</td>"
+        f"<td>{_esc(run['command'])}</td>"
+        f"<td class='mono'>{_esc(run['config_digest'])}</td>"
+        f"<td>{run['races']['total']}</td>"
+        f"<td>{run['races']['harmful']}</td>"
+        f"<td>{run['duration_ms']:.1f}</td>"
+        f"<td>{_esc(run['timestamp'])}</td>"
+        "</tr>"
+        for run in document["runs"]
+    )
+    return (
+        "<table><tr><th>run</th><th>command</th><th>config</th>"
+        "<th>races</th><th>harmful</th><th>ms</th><th>timestamp</th></tr>"
+        f"{rows}</table>"
+    )
+
+
+def _lifecycle_table_html(document: Dict[str, Any]) -> str:
+    if not document["fingerprints"]:
+        return "<p>no race fingerprints recorded.</p>"
+    rows = "".join(
+        "<tr>"
+        f"<td><span class='badge "
+        f"{'harmful' if entry['status'] in ('new', 'flaky') else 'benign'}'>"
+        f"{_esc(entry['status'].upper())}</span></td>"
+        f"<td class='mono'>{_esc(entry['fingerprint'])}</td>"
+        f"<td>{_esc(entry['race_type'])}</td>"
+        f"<td>{'yes' if entry['harmful'] else 'no'}</td>"
+        f"<td>{_esc(entry['verdict'])}</td>"
+        f"<td>{entry['occurrences']}/{entry['runs_considered']}</td>"
+        f"<td class='mono'>{_esc(entry['location'])}</td>"
+        "</tr>"
+        for entry in document["fingerprints"]
+    )
+    return (
+        "<table><tr><th>status</th><th>fingerprint</th><th>type</th>"
+        "<th>harmful</th><th>verdict</th><th>seen</th><th>location</th>"
+        "</tr>"
+        f"{rows}</table>"
+    )
+
+
+def _sparklines_html(document: Dict[str, Any]) -> str:
+    series = _phase_series(document)
+    durations = [run["duration_ms"] for run in document["runs"]]
+    rows = [
+        "<tr><td class='mono'>&lt;run&gt;</td>"
+        f"<td>{_sparkline_svg(durations, 'run duration')}</td>"
+        f"<td>{durations[-1]:.1f}</td></tr>"
+        if durations
+        else ""
+    ]
+    rows += [
+        f"<tr><td class='mono'>{_esc(name)}</td>"
+        f"<td>{_sparkline_svg(values, name)}</td>"
+        f"<td>{values[-1]:.1f}</td></tr>"
+        for name, values in series.items()
+    ]
+    if not any(rows):
+        return "<p>no phase timings recorded.</p>"
+    return (
+        "<table><tr><th>phase</th><th>total ms per run</th>"
+        "<th>latest ms</th></tr>"
+        f"{''.join(rows)}</table>"
+        "<p class='fp'>x = run order (oldest to newest); red dot = most "
+        "recent run; each sparkline is scaled to its own peak</p>"
+    )
+
+
+def render_trend_html(document: Dict[str, Any]) -> str:
+    """Render the history document to a self-contained HTML trend page."""
+    validate_history_report(document)
+    totals = document["totals"]
+    title = f"WebRacer run history — {totals['runs']} runs"
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>"
+        f"<h1>{_esc(title)}</h1>"
+        f"<p>ledger <code>{_esc(document['ledger'])}</code> &middot; "
+        f"{totals['fingerprints']} distinct fingerprints "
+        f"({totals['new']} new, {totals['persisting']} persisting, "
+        f"{totals['flaky']} flaky, {totals['resolved']} resolved)</p>"
+        "<h2>Race lifecycle</h2>"
+        f"{_lifecycle_table_html(document)}"
+        "<h2>Per-phase duration trends</h2>"
+        f"{_sparklines_html(document)}"
+        "<h2>Runs</h2>"
+        f"{_runs_table_html(document)}"
+        "</body></html>"
+    )
+
+
+def write_trend_html(document: Dict[str, Any], path: str) -> None:
+    """Write the HTML trend report for a validated history document."""
+    with open(path, "w") as handle:
+        handle.write(render_trend_html(document))

@@ -22,6 +22,7 @@ zero-overhead contract the disabled-mode benchmark pins down
 (``benchmarks/test_obs_overhead.py``).
 """
 
+from .bench import bench_envelope, validate_bench_file, write_bench
 from .core import (
     NULL,
     Histogram,
@@ -29,6 +30,20 @@ from .core import (
     NullInstrumentation,
     Span,
     SpanStat,
+)
+from .ledger import (
+    Ledger,
+    LedgerError,
+    build_run_record,
+    config_digest,
+    lifecycle_index,
+    strip_volatile,
+)
+from .regress import (
+    RunDiff,
+    diff_records,
+    perf_regressions,
+    render_diff_text,
 )
 from .shard import merge_shard, snapshot
 from .stats import render_profile, stats_dict
@@ -42,14 +57,27 @@ __all__ = [
     "NULL",
     "Histogram",
     "Instrumentation",
+    "Ledger",
+    "LedgerError",
     "NullInstrumentation",
+    "RunDiff",
     "Span",
     "SpanStat",
+    "bench_envelope",
+    "build_run_record",
+    "config_digest",
+    "diff_records",
+    "lifecycle_index",
     "merge_shard",
+    "perf_regressions",
+    "render_diff_text",
     "render_profile",
     "snapshot",
     "stats_dict",
+    "strip_volatile",
     "to_trace_events",
+    "validate_bench_file",
     "validate_trace_events",
+    "write_bench",
     "write_chrome_trace",
 ]

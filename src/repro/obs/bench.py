@@ -1,0 +1,115 @@
+"""Shared ``BENCH_*.json`` trajectory envelope.
+
+Every benchmark that makes a perf or coverage claim writes a
+``BENCH_<name>.json`` artifact, and every artifact shares one envelope so
+CI (and future tooling) can fold them into a single perf trajectory
+instead of a pile of ad-hoc shapes:
+
+.. code-block:: json
+
+    {
+      "format": "webracer-bench",
+      "version": 1,
+      "benchmark": "predict",
+      "created_unix": 1754600000,
+      "metrics": {"speedup": 3.1, "recall": 1.0},
+      "payload": {"...benchmark-specific detail..."}
+    }
+
+``metrics`` is the flat, numeric, trend-able surface — the values a
+trajectory plot or a regression gate reads.  ``payload`` is free-form
+context (coverage lists, per-run breakdowns) that rides along for humans.
+:func:`validate_bench_file` is the CI check: it fails the build when any
+``BENCH_*.json`` is missing the envelope, so a new benchmark cannot
+silently opt out of the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Optional
+
+BENCH_FORMAT = "webracer-bench"
+BENCH_VERSION = 1
+
+#: Fields every BENCH artifact must carry at top level.
+ENVELOPE_FIELDS = ("format", "version", "benchmark", "created_unix", "metrics")
+
+
+def bench_envelope(
+    benchmark: str,
+    metrics: Dict[str, Any],
+    payload: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Wrap benchmark results in the shared trajectory envelope.
+
+    ``metrics`` values must be numbers (or ``None`` for a metric that
+    could not be computed this run); anything richer belongs in
+    ``payload``.
+    """
+    for name, value in metrics.items():
+        if value is not None and not isinstance(value, (int, float)):
+            raise ValueError(
+                f"metric {name!r} must be numeric or None, got "
+                f"{type(value).__name__}"
+            )
+    document: Dict[str, Any] = {
+        "format": BENCH_FORMAT,
+        "version": BENCH_VERSION,
+        "benchmark": benchmark,
+        "created_unix": int(time.time()),
+        "metrics": dict(metrics),
+    }
+    if payload is not None:
+        document["payload"] = payload
+    return document
+
+
+def write_bench(
+    benchmark: str,
+    metrics: Dict[str, Any],
+    payload: Optional[Dict[str, Any]] = None,
+    directory: Optional[str] = None,
+) -> str:
+    """Write ``BENCH_<benchmark>.json`` (sorted keys, trailing newline).
+
+    Returns the path written.  ``directory`` defaults to the current
+    working directory — where CI collects artifacts from.
+    """
+    document = bench_envelope(benchmark, metrics, payload)
+    path = os.path.join(directory or os.getcwd(), f"BENCH_{benchmark}.json")
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def validate_bench_document(document: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` when the envelope is missing or malformed."""
+    if not isinstance(document, dict):
+        raise ValueError("bench document must be an object")
+    for field in ENVELOPE_FIELDS:
+        if field not in document:
+            raise ValueError(f"bench document missing envelope field {field!r}")
+    if document["format"] != BENCH_FORMAT:
+        raise ValueError(f"unexpected bench format {document['format']!r}")
+    if document["version"] != BENCH_VERSION:
+        raise ValueError(f"unexpected bench version {document['version']!r}")
+    if not isinstance(document["metrics"], dict) or not document["metrics"]:
+        raise ValueError("bench document needs a non-empty 'metrics' object")
+    for name, value in document["metrics"].items():
+        if value is not None and not isinstance(value, (int, float)):
+            raise ValueError(f"bench metric {name!r} is not numeric")
+
+
+def validate_bench_file(path: str) -> Dict[str, Any]:
+    """Load and validate one BENCH artifact; returns the document."""
+    with open(path) as handle:
+        document = json.load(handle)
+    try:
+        validate_bench_document(document)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None
+    return document

@@ -1,0 +1,187 @@
+"""Cross-run regression diffing (``repro diff``).
+
+Given two run records from the ledger (:mod:`repro.obs.ledger`), compute
+what changed: race fingerprints that are **new** in the later run,
+fingerprints the later run **resolved**, and per-phase wall-clock deltas
+from the records' span snapshots.  ``--fail-on-regression PCT`` turns
+the perf half into a CI gate: the diff exits nonzero when any phase (or
+the whole run) slowed down by more than ``PCT`` percent.
+
+Phase deltas compare ``total_ms`` per span name.  Tiny phases are noise
+— a 0.1 ms phase doubling is not a regression — so the gate only
+considers phases whose later-run total clears ``min_ms`` (default 1 ms).
+Race diffs have no such smoothing: one new fingerprint is one new race.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Phases below this many milliseconds (in the later run) never count as
+#: perf regressions — they are timer-resolution noise.
+DEFAULT_MIN_PHASE_MS = 1.0
+
+#: Synthetic phase name for the whole run's wall clock.
+TOTAL_PHASE = "<run>"
+
+
+@dataclass
+class PhaseDelta:
+    """One phase's duration in both runs."""
+
+    phase: str
+    a_ms: float
+    b_ms: float
+
+    @property
+    def delta_ms(self) -> float:
+        return self.b_ms - self.a_ms
+
+    @property
+    def delta_pct(self) -> Optional[float]:
+        """Percent change from A to B (``None`` when A recorded 0 ms)."""
+        if self.a_ms <= 0:
+            return None
+        return (self.b_ms - self.a_ms) / self.a_ms * 100.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        pct = self.delta_pct
+        return {
+            "phase": self.phase,
+            "a_ms": round(self.a_ms, 3),
+            "b_ms": round(self.b_ms, 3),
+            "delta_ms": round(self.delta_ms, 3),
+            "delta_pct": round(pct, 2) if pct is not None else None,
+        }
+
+
+@dataclass
+class RunDiff:
+    """Everything that changed between two run records."""
+
+    run_a: str
+    run_b: str
+    command: str
+    #: Digests differ when the runs are not strictly comparable.
+    same_config: bool
+    #: Race entries present in B but not in A (by fingerprint).
+    new_races: List[Dict[str, Any]] = field(default_factory=list)
+    #: Race entries present in A but not in B.
+    resolved_races: List[Dict[str, Any]] = field(default_factory=list)
+    #: Fingerprints present in both runs.
+    common: int = 0
+    phase_deltas: List[PhaseDelta] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "run_a": self.run_a,
+            "run_b": self.run_b,
+            "command": self.command,
+            "same_config": self.same_config,
+            "new_races": [dict(race) for race in self.new_races],
+            "resolved_races": [dict(race) for race in self.resolved_races],
+            "common_fingerprints": self.common,
+            "phases": [delta.to_dict() for delta in self.phase_deltas],
+        }
+
+
+def diff_records(a: Dict[str, Any], b: Dict[str, Any]) -> RunDiff:
+    """Diff run record ``a`` (baseline) against later record ``b``."""
+    races_a = {race["fingerprint"]: race for race in a.get("races", ())}
+    races_b = {race["fingerprint"]: race for race in b.get("races", ())}
+    deltas = [
+        PhaseDelta(
+            phase=name,
+            a_ms=a.get("phases", {}).get(name, {}).get("total_ms", 0.0),
+            b_ms=b.get("phases", {}).get(name, {}).get("total_ms", 0.0),
+        )
+        for name in sorted(set(a.get("phases", {})) | set(b.get("phases", {})))
+    ]
+    deltas.append(
+        PhaseDelta(
+            phase=TOTAL_PHASE,
+            a_ms=a.get("duration_ms", 0.0),
+            b_ms=b.get("duration_ms", 0.0),
+        )
+    )
+    return RunDiff(
+        run_a=a["run_id"],
+        run_b=b["run_id"],
+        command=b.get("command", a.get("command", "")),
+        same_config=a.get("config_digest") == b.get("config_digest"),
+        new_races=[
+            races_b[fp] for fp in sorted(set(races_b) - set(races_a))
+        ],
+        resolved_races=[
+            races_a[fp] for fp in sorted(set(races_a) - set(races_b))
+        ],
+        common=len(set(races_a) & set(races_b)),
+        phase_deltas=deltas,
+    )
+
+
+def perf_regressions(
+    diff: RunDiff,
+    threshold_pct: float,
+    min_ms: float = DEFAULT_MIN_PHASE_MS,
+) -> List[PhaseDelta]:
+    """Phases that slowed down past the gate.
+
+    A phase regresses when both runs measured it, the later run spent at
+    least ``min_ms`` on it, and the increase exceeds ``threshold_pct``.
+    """
+    flagged = []
+    for delta in diff.phase_deltas:
+        pct = delta.delta_pct
+        if pct is None or delta.b_ms < min_ms:
+            continue
+        if pct > threshold_pct:
+            flagged.append(delta)
+    return flagged
+
+
+def render_diff_text(
+    diff: RunDiff, regressions: Optional[List[PhaseDelta]] = None
+) -> str:
+    """Terminal rendering of one run diff."""
+    lines = [
+        f"diff {diff.run_a} -> {diff.run_b} ({diff.command})",
+    ]
+    if not diff.same_config:
+        lines.append(
+            "  warning: runs have different config digests; race and "
+            "perf deltas may reflect config changes, not regressions"
+        )
+    lines.append(
+        f"  races: {len(diff.new_races)} new, "
+        f"{len(diff.resolved_races)} resolved, {diff.common} unchanged"
+    )
+    for race in diff.new_races:
+        lines.append(
+            f"    NEW      {race['fingerprint']}  [{race.get('verdict', '?')}] "
+            f"{race.get('race_type', '?')}"
+            f"{' harmful' if race.get('harmful') else ''}  "
+            f"{race.get('location', '')}"
+        )
+    for race in diff.resolved_races:
+        lines.append(
+            f"    RESOLVED {race['fingerprint']}  [{race.get('verdict', '?')}] "
+            f"{race.get('race_type', '?')}  {race.get('location', '')}"
+        )
+    timed = [delta for delta in diff.phase_deltas if delta.a_ms or delta.b_ms]
+    if timed:
+        lines.append(
+            f"  {'phase':28s} {'A ms':>10s} {'B ms':>10s} {'delta':>9s}"
+        )
+        for delta in timed:
+            pct = delta.delta_pct
+            pct_text = f"{pct:+8.1f}%" if pct is not None else "      new"
+            lines.append(
+                f"  {delta.phase:28s} {delta.a_ms:10.2f} "
+                f"{delta.b_ms:10.2f} {pct_text}"
+            )
+    if regressions:
+        names = ", ".join(delta.phase for delta in regressions)
+        lines.append(f"  PERF REGRESSION in: {names}")
+    return "\n".join(lines)

@@ -91,7 +91,10 @@ def merge_shard(
         raise ValueError(
             f"unsupported obs snapshot version {shard.get('version')!r}"
         )
-    for name, category, args, scope, start, duration in shard["events"]:
+    # A crashed worker can ship a partial snapshot (its task died between
+    # building the dict and filling it); missing sections merge as empty
+    # rather than killing the parent's aggregation of the healthy shards.
+    for name, category, args, scope, start, duration in shard.get("events", ()):
         if len(obs.events) < obs.max_events:
             obs.events.append(
                 ShardEvent(
@@ -100,9 +103,9 @@ def merge_shard(
             )
         else:
             obs.dropped_events += 1
-    for key, value in shard["counters"].items():
+    for key, value in shard.get("counters", {}).items():
         obs.counters[key] = obs.counters.get(key, 0) + value
-    for key, (count, total, minimum, maximum) in shard["histograms"].items():
+    for key, (count, total, minimum, maximum) in shard.get("histograms", {}).items():
         hist = obs.histograms.get(key)
         if hist is None:
             hist = obs.histograms[key] = Histogram()
@@ -110,9 +113,9 @@ def merge_shard(
         hist.total += total
         hist.minimum = min(hist.minimum, minimum)
         hist.maximum = max(hist.maximum, maximum)
-    for key, (count, total, self_total, minimum, maximum) in shard[
-        "span_stats"
-    ].items():
+    for key, (count, total, self_total, minimum, maximum) in shard.get(
+        "span_stats", {}
+    ).items():
         stat = obs.span_stats.get(key)
         if stat is None:
             stat = obs.span_stats[key] = SpanStat()
@@ -121,6 +124,6 @@ def merge_shard(
         stat.self_total += self_total
         stat.minimum = min(stat.minimum, minimum)
         stat.maximum = max(stat.maximum, maximum)
-    obs.dropped_events += shard["dropped_events"]
+    obs.dropped_events += shard.get("dropped_events", 0)
     if thread_name is not None and tid:
         obs.thread_names[tid] = thread_name

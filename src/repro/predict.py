@@ -290,32 +290,43 @@ def _confirm_predictions(
     pending = {p.fingerprint: p for p in report.predictions}
     if not pending:
         return
-    for spec in witness_schedule_specs(seed, report.budget):
-        run = run_page_schedule(
-            page,
-            spec,
-            seed=seed,
-            hb_backend=hb_backend,
-            verify_replay=True,
-            obs=obs,
-        )
-        report.witness_runs.append(run)
-        # One recorded run + one replay verification.
-        report.runs_executed += 2 if run.ok else 1
-        if not run.ok:
-            continue
-        for fingerprint in list(pending):
-            if fingerprint not in run.fingerprints or run.replay_ok is False:
+    with obs.span(
+        "predict.confirm",
+        cat="predict",
+        page=page.url,
+        predictions=len(pending),
+    ):
+        for spec in witness_schedule_specs(seed, report.budget):
+            run = run_page_schedule(
+                page,
+                spec,
+                seed=seed,
+                hb_backend=hb_backend,
+                verify_replay=True,
+                obs=obs,
+            )
+            report.witness_runs.append(run)
+            # One recorded run + one replay verification.
+            report.runs_executed += 2 if run.ok else 1
+            if obs.enabled:
+                obs.count("predict.witness_budget_spent")
+            if not run.ok:
                 continue
-            prediction = pending.pop(fingerprint)
-            prediction.confirmed = True
-            prediction.witness_sid = run.sid
-            prediction.witness_policy = run.policy
-            prediction.witness_seed = run.seed
-            prediction.witness_trace_dict = run.trace_dict
-            prediction.replay_ok = run.replay_ok
-        if not pending:
-            return
+            for fingerprint in list(pending):
+                if (
+                    fingerprint not in run.fingerprints
+                    or run.replay_ok is False
+                ):
+                    continue
+                prediction = pending.pop(fingerprint)
+                prediction.confirmed = True
+                prediction.witness_sid = run.sid
+                prediction.witness_policy = run.policy
+                prediction.witness_seed = run.seed
+                prediction.witness_trace_dict = run.trace_dict
+                prediction.replay_ok = run.replay_ok
+            if not pending:
+                return
 
 
 def _minimize_confirmed(
@@ -348,6 +359,8 @@ def _minimize_confirmed(
             continue
         prediction.minimized = result.to_dict()
         report.runs_executed += result.tests_run
+        if obs.enabled:
+            obs.count("predict.minimize_tests", result.tests_run)
 
 
 def predict_pages(

@@ -276,7 +276,8 @@ def run_page_schedule(
         )
         if verify_replay:
             result.replay_ok = replay_reproduces(
-                page, trace, fingerprints, seed=seed, hb_backend=hb_backend
+                page, trace, fingerprints, seed=seed, hb_backend=hb_backend,
+                obs=obs,
             )
         if obs.enabled:
             obs.count("explore.schedules_run")
@@ -298,15 +299,20 @@ def replay_run(
     trace: ScheduleTrace,
     seed: int = 0,
     hb_backend: str = "graph",
+    obs=None,
 ) -> List[str]:
     """Replay a recorded schedule; returns the run's race fingerprints.
 
     Raises :class:`~repro.browser.event_loop.ScheduleDivergence` when the
     trace no longer matches the page — replay never silently drifts.
     """
-    _page_obj, _report, fingerprints, _races = run_page_once(
-        page, ReplayScheduler(trace), seed, hb_backend
-    )
+    obs = obs if obs is not None else NULL
+    with obs.span("explore.replay", cat="explore", page=page.url):
+        _page_obj, _report, fingerprints, _races = run_page_once(
+            page, ReplayScheduler(trace), seed, hb_backend, obs=obs
+        )
+    if obs.enabled:
+        obs.count("explore.replays")
     return fingerprints
 
 
@@ -316,14 +322,21 @@ def replay_reproduces(
     fingerprints: Sequence[str],
     seed: int = 0,
     hb_backend: str = "graph",
+    obs=None,
 ) -> bool:
     """Does replaying ``trace`` reproduce exactly these fingerprints?"""
+    obs = obs if obs is not None else NULL
     try:
-        return replay_run(page, trace, seed=seed, hb_backend=hb_backend) == sorted(
-            fingerprints
-        )
+        reproduced = replay_run(
+            page, trace, seed=seed, hb_backend=hb_backend, obs=obs
+        ) == sorted(fingerprints)
     except ScheduleDivergence:
+        if obs.enabled:
+            obs.count("explore.replay_diverged")
         return False
+    if obs.enabled and not reproduced:
+        obs.count("explore.replay_mismatched")
+    return reproduced
 
 
 # ----------------------------------------------------------------------

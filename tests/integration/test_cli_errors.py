@@ -133,6 +133,105 @@ class TestOutputPathValidation:
         capsys.readouterr()
         assert out.exists()
 
+    @pytest.mark.parametrize(
+        "flag", ["--json", "--stats-json", "--trace-out"]
+    )
+    def test_explore_rejects_bad_path_before_running(
+        self, flag, page_file, capsys, monkeypatch
+    ):
+        def explode(*args, **kwargs):
+            raise AssertionError("matrix ran before path validation")
+
+        monkeypatch.setattr(
+            "repro.schedule_runner.explore_pages", explode, raising=True
+        )
+        status = main(
+            ["explore", page_file, flag, "/no/such/dir/out.file"]
+        )
+        err = capsys.readouterr().err
+        assert status == 2
+        assert err == "error: output directory '/no/such/dir' does not exist\n"
+
+    @pytest.mark.parametrize(
+        "flag", ["--json", "--stats-json", "--trace-out"]
+    )
+    def test_predict_rejects_bad_path_before_running(
+        self, flag, page_file, capsys, monkeypatch
+    ):
+        def explode(*args, **kwargs):
+            raise AssertionError("prediction ran before path validation")
+
+        monkeypatch.setattr(
+            "repro.predict.predict_pages", explode, raising=True
+        )
+        status = main(
+            ["predict", page_file, flag, "/no/such/dir/out.file"]
+        )
+        err = capsys.readouterr().err
+        assert status == 2
+        assert err == "error: output directory '/no/such/dir' does not exist\n"
+
+
+class TestLedgerPathValidation:
+    @pytest.mark.parametrize(
+        "command", [["check"], ["corpus", "--sites", "1"]]
+    )
+    def test_ledger_path_is_a_file(
+        self, command, page_file, tmp_path, capsys
+    ):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        argv = list(command)
+        if argv[0] == "check":
+            argv.append(page_file)
+        status = main([*argv, "--ledger", str(blocker)])
+        err = capsys.readouterr().err
+        assert status == 2
+        assert err == f"error: --ledger '{blocker}' is a file\n"
+
+    def test_ledger_rejected_before_run(self, capsys, monkeypatch):
+        def explode(*args, **kwargs):
+            raise AssertionError("sites ran before ledger validation")
+
+        monkeypatch.setattr("repro.sites.build_corpus", explode)
+        status = main(
+            ["corpus", "--sites", "5", "--ledger", "/proc/version/nope"]
+        )
+        err = capsys.readouterr().err
+        assert status == 2
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_explore_validates_ledger_up_front(
+        self, page_file, tmp_path, capsys, monkeypatch
+    ):
+        def explode(*args, **kwargs):
+            raise AssertionError("matrix ran before ledger validation")
+
+        monkeypatch.setattr(
+            "repro.schedule_runner.explore_pages", explode, raising=True
+        )
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        status = main(["explore", page_file, "--ledger", str(blocker)])
+        assert status == 2
+        assert "is a file" in capsys.readouterr().err
+
+    def test_predict_validates_ledger_up_front(
+        self, page_file, tmp_path, capsys, monkeypatch
+    ):
+        def explode(*args, **kwargs):
+            raise AssertionError("prediction ran before ledger validation")
+
+        monkeypatch.setattr(
+            "repro.predict.predict_pages", explode, raising=True
+        )
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        status = main(["predict", page_file, "--ledger", str(blocker)])
+        assert status == 2
+        assert "is a file" in capsys.readouterr().err
+
 
 class TestPathHelpers:
     def test_output_path_error_accepts_writable_target(self, tmp_path):

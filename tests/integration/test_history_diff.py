@@ -1,0 +1,303 @@
+"""End-to-end CLI tests for --ledger, `repro history` and `repro diff`.
+
+Pins the PR's acceptance criteria: two identical ledgered runs produce
+byte-identical records modulo volatile fields, `diff --against last`
+reports zero new/resolved fingerprints, and an injected slowdown trips
+``--fail-on-regression``.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.explain import validate_history_report, validate_run_record
+from repro.obs.ledger import Ledger, build_run_record, strip_volatile
+
+
+@pytest.fixture
+def buggy_page(tmp_path):
+    page = tmp_path / "page.html"
+    page.write_text(
+        '<input type="text" id="q" /><script src="hint.js"></script>'
+    )
+    hint = tmp_path / "hint.js"
+    hint.write_text("document.getElementById('q').value = 'hint';")
+    return page, hint
+
+
+def run_check(capsys, page, hint, ledger, *extra):
+    status = main(
+        [
+            "check", str(page),
+            "--resource", f"hint.js={hint}",
+            "--ledger", str(ledger),
+            *extra,
+        ]
+    )
+    return status, capsys.readouterr().out
+
+
+class TestLedgerAppend:
+    def test_check_appends_one_validated_record(
+        self, buggy_page, tmp_path, capsys
+    ):
+        page, hint = buggy_page
+        ledger_dir = tmp_path / "ledger"
+        status, out = run_check(capsys, page, hint, ledger_dir)
+        assert status == 1  # the page is harmful; the run still ledgers
+        assert "appended to" in out
+        records = Ledger(str(ledger_dir)).records()
+        assert len(records) == 1
+        validate_run_record(records[0])
+        record = records[0]
+        assert record["command"] == "check"
+        assert record["races"]
+        assert all(race["verdict"] == "observed" for race in record["races"])
+        assert record["phases"]["check_page"]["count"] == 1
+
+    def test_identical_runs_byte_identical_modulo_volatile(
+        self, buggy_page, tmp_path, capsys
+    ):
+        page, hint = buggy_page
+        ledger_dir = tmp_path / "ledger"
+        run_check(capsys, page, hint, ledger_dir)
+        run_check(capsys, page, hint, ledger_dir)
+        first, second = Ledger(str(ledger_dir)).records()
+        assert first["run_id"] != second["run_id"]
+        assert json.dumps(
+            strip_volatile(first), sort_keys=True
+        ) == json.dumps(strip_volatile(second), sort_keys=True)
+
+    def test_without_ledger_nothing_is_written(
+        self, buggy_page, tmp_path, capsys
+    ):
+        page, hint = buggy_page
+        main(["check", str(page), "--resource", f"hint.js={hint}"])
+        capsys.readouterr()
+        assert not (tmp_path / "ledger").exists()
+
+    def test_corpus_jobs_appends_exactly_one_record(self, tmp_path, capsys):
+        ledger_dir = tmp_path / "ledger"
+        status = main(
+            [
+                "corpus", "--sites", "3", "--jobs", "2",
+                "--ledger", str(ledger_dir),
+            ]
+        )
+        capsys.readouterr()
+        assert status == 0
+        records = Ledger(str(ledger_dir)).records()
+        assert len(records) == 1
+        assert records[0]["command"] == "corpus"
+
+
+class TestHistory:
+    def test_history_lists_runs_and_lifecycle(
+        self, buggy_page, tmp_path, capsys
+    ):
+        page, hint = buggy_page
+        ledger_dir = tmp_path / "ledger"
+        run_check(capsys, page, hint, ledger_dir)
+        run_check(capsys, page, hint, ledger_dir)
+        status = main(["history", "--ledger", str(ledger_dir)])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "2 run(s)" in out
+        assert "PERSISTING" in out
+
+    def test_history_json_validates_and_html_is_self_contained(
+        self, buggy_page, tmp_path, capsys
+    ):
+        page, hint = buggy_page
+        ledger_dir = tmp_path / "ledger"
+        run_check(capsys, page, hint, ledger_dir)
+        json_path = tmp_path / "history.json"
+        html_path = tmp_path / "trend.html"
+        status = main(
+            [
+                "history", "--ledger", str(ledger_dir),
+                "--json", str(json_path), "--html", str(html_path),
+            ]
+        )
+        capsys.readouterr()
+        assert status == 0
+        document = json.loads(json_path.read_text())
+        validate_history_report(document)
+        assert document["totals"]["runs"] == 1
+        html = html_path.read_text()
+        assert html.startswith("<!doctype html>")
+        assert "<svg" in html  # the sparklines
+        assert "src=" not in html and "href=" not in html  # no external assets
+
+    def test_history_command_filter(self, buggy_page, tmp_path, capsys):
+        page, hint = buggy_page
+        ledger_dir = tmp_path / "ledger"
+        run_check(capsys, page, hint, ledger_dir)
+        status = main(
+            ["history", "--ledger", str(ledger_dir), "--command", "corpus"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "0 run(s)" in out
+
+    def test_history_missing_ledger_exits_2(self, tmp_path, capsys):
+        status = main(["history", "--ledger", str(tmp_path / "nope")])
+        err = capsys.readouterr().err
+        assert status == 2
+        assert err.startswith("error: no ledger")
+        assert len(err.strip().splitlines()) == 1
+
+
+class TestDiff:
+    def test_against_last_reports_zero_new_races(
+        self, buggy_page, tmp_path, capsys
+    ):
+        page, hint = buggy_page
+        ledger_dir = tmp_path / "ledger"
+        run_check(capsys, page, hint, ledger_dir)
+        run_check(capsys, page, hint, ledger_dir)
+        status = main(["diff", "--against", "last", "--ledger", str(ledger_dir)])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "0 new, 0 resolved" in out
+
+    def test_positional_run_references(self, buggy_page, tmp_path, capsys):
+        page, hint = buggy_page
+        ledger_dir = tmp_path / "ledger"
+        run_check(capsys, page, hint, ledger_dir)
+        run_check(capsys, page, hint, ledger_dir)
+        status = main(["diff", "0", "-1", "--ledger", str(ledger_dir)])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "0 new" in out
+
+    def test_injected_slowdown_fails_regression_gate(
+        self, buggy_page, tmp_path, capsys
+    ):
+        page, hint = buggy_page
+        ledger_dir = tmp_path / "ledger"
+        run_check(capsys, page, hint, ledger_dir)
+        ledger = Ledger(str(ledger_dir))
+        baseline = ledger.records()[-1]
+        # Inject an artificial 10x slowdown as a new comparable run.
+        slow = build_run_record(
+            baseline["command"],
+            baseline["config"],
+            baseline["races"],
+            baseline["totals"],
+            duration_ms=max(baseline["duration_ms"], 1.0) * 10.0,
+        )
+        ledger.append(slow)
+        status = main(
+            [
+                "diff", "--against", "last", "--ledger", str(ledger_dir),
+                "--fail-on-regression", "20",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "PERF REGRESSION" in out
+
+    def test_no_regression_below_threshold(
+        self, buggy_page, tmp_path, capsys
+    ):
+        page, hint = buggy_page
+        ledger_dir = tmp_path / "ledger"
+        run_check(capsys, page, hint, ledger_dir)
+        run_check(capsys, page, hint, ledger_dir)
+        status = main(
+            [
+                "diff", "--against", "last", "--ledger", str(ledger_dir),
+                "--fail-on-regression", "10000",
+            ]
+        )
+        capsys.readouterr()
+        assert status == 0
+
+    def test_diff_json_output(self, buggy_page, tmp_path, capsys):
+        page, hint = buggy_page
+        ledger_dir = tmp_path / "ledger"
+        run_check(capsys, page, hint, ledger_dir)
+        run_check(capsys, page, hint, ledger_dir)
+        out_path = tmp_path / "diff.json"
+        status = main(
+            [
+                "diff", "--against", "last", "--ledger", str(ledger_dir),
+                "--json", str(out_path),
+            ]
+        )
+        capsys.readouterr()
+        assert status == 0
+        document = json.loads(out_path.read_text())
+        assert document["new_races"] == []
+        assert document["resolved_races"] == []
+        assert any(p["phase"] == "<run>" for p in document["phases"])
+
+    def test_against_without_baseline_exits_2(
+        self, buggy_page, tmp_path, capsys
+    ):
+        page, hint = buggy_page
+        ledger_dir = tmp_path / "ledger"
+        run_check(capsys, page, hint, ledger_dir)
+        status = main(["diff", "--against", "last", "--ledger", str(ledger_dir)])
+        err = capsys.readouterr().err
+        assert status == 2
+        assert err.startswith("error: no earlier")
+
+    def test_diff_usage_errors(self, tmp_path, capsys):
+        ledger_dir = tmp_path / "ledger"
+        assert main(["diff", "--ledger", str(ledger_dir)]) == 2
+        assert (
+            main(["diff", "a", "b", "--against", "last", "--ledger",
+                  str(ledger_dir)])
+            == 2
+        )
+        assert (
+            main(["diff", "--against", "last", "--ledger", str(ledger_dir),
+                  "--fail-on-regression", "0"])
+            == 2
+        )
+        capsys.readouterr()
+
+
+class TestLedgerAcrossCommands:
+    def test_explore_and_predict_record_verdicts(self, tmp_path, capsys):
+        page = tmp_path / "page.html"
+        page.write_text(
+            '<input type="text" id="q" /><script src="hint.js"></script>'
+        )
+        hint = tmp_path / "hint.js"
+        hint.write_text("document.getElementById('q').value = 'hint';")
+        ledger_dir = tmp_path / "ledger"
+        status = main(
+            [
+                "explore", str(page), "--schedules", "3",
+                "--ledger", str(ledger_dir),
+            ]
+        )
+        capsys.readouterr()
+        assert status == 0
+        status = main(
+            ["predict", str(page), "--budget", "3", "--ledger", str(ledger_dir)]
+        )
+        capsys.readouterr()
+        assert status == 0
+        records = Ledger(str(ledger_dir)).records()
+        assert [r["command"] for r in records] == ["explore", "predict"]
+        explore_verdicts = {r["verdict"] for r in records[0]["races"]}
+        assert explore_verdicts <= {"stable", "schedule-sensitive"}
+        predict_verdicts = {r["verdict"] for r in records[1]["races"]}
+        assert predict_verdicts <= {
+            "observed", "predicted+confirmed", "predicted-only",
+        }
+        # Replay instrumentation (satellite): explore's verification runs
+        # show up as spans/counters in the run record.
+        assert "explore.replay" in records[0]["phases"]
+        assert records[0]["counters"]["explore.replays"] >= 1
+        assert records[1]["counters"]["predict.pages"] == 1
+        # Witness budget is only spent when a prediction needs confirming;
+        # totals carry the count either way.
+        assert records[1]["totals"]["predicted"] == (
+            records[1]["counters"].get("predict.predicted", 0)
+        )

@@ -1,0 +1,129 @@
+"""Shard snapshot/merge edge cases: empty shards, partial snapshots from
+crashed workers, version mismatches, and ledger appends interleaved with
+sharded runs."""
+
+import pytest
+
+from repro.obs import Instrumentation, merge_shard, snapshot
+from repro.obs.ledger import Ledger, build_run_record
+from repro.obs.shard import SNAPSHOT_VERSION
+
+
+def _worker_obs(scope="site0", spans=1, counts=0):
+    obs = Instrumentation()
+    with obs.scope(scope):
+        for _ in range(spans):
+            with obs.span("work"):
+                pass
+        for _ in range(counts):
+            obs.count("hits")
+    return obs
+
+
+class TestZeroSiteShards:
+    def test_empty_snapshot_merges_as_noop(self):
+        parent = Instrumentation()
+        empty = snapshot(Instrumentation())
+        merge_shard(parent, empty, tid=1)
+        assert parent.counters == {}
+        assert parent.span_stats == {}
+        assert parent.events == []
+        assert parent.dropped_events == 0
+
+    def test_merging_many_empty_shards_keeps_parent_clean(self):
+        parent = Instrumentation()
+        with parent.span("parent.phase"):
+            pass
+        for tid in range(1, 6):
+            merge_shard(parent, snapshot(Instrumentation()), tid=tid)
+        assert set(parent.span_totals()) == {"parent.phase"}
+
+
+class TestPartialSnapshots:
+    """A worker that died mid-snapshot ships a dict with missing sections;
+    the parent merges what is there instead of crashing."""
+
+    def test_snapshot_missing_all_sections(self):
+        parent = Instrumentation()
+        merge_shard(parent, {"version": SNAPSHOT_VERSION}, tid=1)
+        assert parent.counters == {}
+        assert parent.events == []
+
+    def test_snapshot_with_only_counters(self):
+        parent = Instrumentation()
+        merge_shard(
+            parent,
+            {"version": SNAPSHOT_VERSION, "counters": {("s", "hits"): 3}},
+            tid=1,
+        )
+        assert parent.counters[("s", "hits")] == 3
+
+    def test_partial_shard_merges_alongside_healthy_ones(self):
+        parent = Instrumentation()
+        healthy = snapshot(_worker_obs("site0", spans=2, counts=3))
+        partial = {"version": SNAPSHOT_VERSION, "dropped_events": 4}
+        merge_shard(parent, healthy, tid=1, thread_name="site0")
+        merge_shard(parent, partial, tid=2, thread_name="site1")
+        assert parent.span_totals()["work"].count == 2
+        assert parent.counter_totals()["hits"] == 3
+        assert parent.dropped_events == 4
+
+    def test_version_mismatch_still_raises(self):
+        parent = Instrumentation()
+        with pytest.raises(ValueError, match="snapshot version"):
+            merge_shard(parent, {"version": SNAPSHOT_VERSION + 1}, tid=1)
+        with pytest.raises(ValueError, match="snapshot version"):
+            merge_shard(parent, {}, tid=1)
+
+
+class TestMergeAggregation:
+    def test_two_workers_merge_by_scope_and_name(self):
+        parent = Instrumentation()
+        merge_shard(parent, snapshot(_worker_obs("site0", spans=1)), tid=1)
+        merge_shard(parent, snapshot(_worker_obs("site1", spans=2)), tid=2)
+        assert parent.span_totals()["work"].count == 3
+
+    def test_events_land_on_worker_tid(self):
+        parent = Instrumentation()
+        merge_shard(
+            parent,
+            snapshot(_worker_obs("site0")),
+            tid=7,
+            thread_name="site0",
+        )
+        assert all(event.tid == 7 for event in parent.events)
+        assert parent.thread_names[7] == "site0"
+
+
+class TestLedgerInterleavedWithShardedRuns:
+    """Two sequential runs and a sharded run appending to one ledger:
+    every append is a single O_APPEND write, so the file stays whole."""
+
+    def _record(self, obs, tag):
+        return build_run_record(
+            "corpus",
+            {"seed": 0, "tag": tag},
+            [],
+            {"sites_checked": 1},
+            obs=obs,
+        )
+
+    def test_three_runs_one_ledger(self, tmp_path):
+        ledger = Ledger(str(tmp_path))
+        # run 1: plain sequential
+        ledger.append(self._record(_worker_obs("site0"), "seq1"))
+        # run 2: a sharded parent that merged two worker snapshots —
+        # still appends exactly one record.
+        parent = Instrumentation()
+        merge_shard(parent, snapshot(_worker_obs("site0")), tid=1)
+        merge_shard(parent, snapshot(_worker_obs("site1")), tid=2)
+        ledger.append(self._record(parent, "jobs"))
+        # run 3: sequential again, interleaved after the sharded run
+        ledger.append(self._record(_worker_obs("site0"), "seq2"))
+        records = ledger.records()
+        assert len(records) == 3
+        assert [r["config"]["tag"] for r in records] == [
+            "seq1", "jobs", "seq2",
+        ]
+        # The sharded record folded both workers' spans into its phases.
+        assert records[1]["phases"]["work"]["count"] == 2
