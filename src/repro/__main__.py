@@ -190,6 +190,52 @@ def _scheduler_args_error(args) -> Optional[str]:
     return None
 
 
+def _detector_args_error(args) -> Optional[str]:
+    """Why the detector flags are inconsistent, or ``None``.
+
+    ``--sample-budget`` / ``--sample-seed`` only mean something when a
+    sampling tier runs; silently ignoring them would let a user believe
+    an exact run was budgeted.
+    """
+    if getattr(args, "detector", "exact") == "exact":
+        if getattr(args, "sample_budget", None) is not None:
+            return "--sample-budget requires --detector sampling or two-tier"
+        if getattr(args, "sample_seed", None) is not None:
+            return "--sample-seed requires --detector sampling or two-tier"
+        return None
+    if args.sample_budget is not None and args.sample_budget < 1:
+        return f"--sample-budget must be >= 1, got {args.sample_budget}"
+    return None
+
+
+def _detector_kwargs(args) -> dict:
+    """WebRacer constructor kwargs for the detector flags."""
+    return {
+        "detector": getattr(args, "detector", "exact"),
+        "sample_budget": getattr(args, "sample_budget", None),
+        "sample_seed": getattr(args, "sample_seed", None) or 0,
+    }
+
+
+def _detector_config(args) -> dict:
+    """Ledger config additions for sampling modes.
+
+    Exact runs add nothing, so ledgers written before the sampling
+    detector existed keep their config digests and still baseline
+    against new exact runs.
+    """
+    if getattr(args, "detector", "exact") == "exact":
+        return {}
+    from .core.sampling import DEFAULT_SAMPLE_BUDGET
+
+    budget = getattr(args, "sample_budget", None)
+    return {
+        "detector": args.detector,
+        "sample_budget": budget if budget is not None else DEFAULT_SAMPLE_BUDGET,
+        "sample_seed": getattr(args, "sample_seed", None) or 0,
+    }
+
+
 def _parse_resources(mappings) -> tuple:
     """Parse ``--resource URL=PATH`` flags into a ``{url: content}`` map.
 
@@ -397,6 +443,9 @@ def cmd_check(args) -> int:
     scheduler_error = _scheduler_args_error(args)
     if scheduler_error:
         return _fail(scheduler_error)
+    detector_error = _detector_args_error(args)
+    if detector_error:
+        return _fail(detector_error)
     if args.ledger:
         ledger_error = _ledger_dir_error(args.ledger)
         if ledger_error:
@@ -414,9 +463,19 @@ def cmd_check(args) -> int:
         schedule_seed=args.schedule_seed,
         hb_backend=args.hb_backend,
         obs=obs,
+        **_detector_kwargs(args),
     )
     report = racer.check_page(html, resources=resources, url=args.page)
     status = _print_report(report)
+    if report.sampling is not None:
+        stats = report.sampling
+        print(
+            f"screening: tier {report.tier}, "
+            f"{'suspicious' if report.suspicious else 'clean'} "
+            f"(budget {stats['budget']}, tracked peak "
+            f"{stats['tracked_peak']} of {stats['distinct_locations']} "
+            f"locations, {stats['races_sampled']} sampled races)"
+        )
     _print_predictions(report.predicted_races)
     if args.json:
         error = _write_output(
@@ -452,6 +511,7 @@ def cmd_check(args) -> int:
             "scheduler": args.scheduler,
             "schedule_seed": args.schedule_seed,
             "hb_backend": args.hb_backend,
+            **_detector_config(args),
         },
         races=_check_ledger_races(args.page, report),
         totals={
@@ -485,6 +545,8 @@ def _check_ledger_races(page_url: str, report) -> List[dict]:
                 "description": classified.describe(),
                 "page": page_url,
             }
+            if report.tier is not None:
+                entries[fingerprint]["tier"] = report.tier
     return list(entries.values())
 
 
@@ -574,6 +636,9 @@ def cmd_corpus(args) -> int:
     scheduler_error = _scheduler_args_error(args)
     if scheduler_error:
         return _fail(scheduler_error)
+    detector_error = _detector_args_error(args)
+    if detector_error:
+        return _fail(detector_error)
     if args.jobs < 0:
         return _fail(f"--jobs must be >= 0, got {args.jobs}")
     if args.ledger:
@@ -595,6 +660,7 @@ def cmd_corpus(args) -> int:
         schedule_seed=args.schedule_seed,
         hb_backend=args.hb_backend,
         obs=obs,
+        **_detector_kwargs(args),
     )
     if jobs == 1:
         sites = build_corpus(master_seed=args.seed, limit=args.sites)
@@ -632,6 +698,15 @@ def cmd_corpus(args) -> int:
     if full_run:
         line += " (paper 41)"
     print(line)
+    screening = corpus_report.screening_summary()
+    if screening is not None:
+        print(
+            f"screening ({args.detector}): "
+            f"{screening['suspicious']} of {screening['sites_screened']} "
+            f"sites suspicious, {screening['escalated']} escalated to "
+            f"exact detection (tracked peak "
+            f"{screening['tracked_peak_max']} locations)"
+        )
     failed = corpus_report.failed()
     if failed:
         print(f"site errors: {len(failed)} of {len(corpus_report.reports)} sites")
@@ -640,10 +715,19 @@ def cmd_corpus(args) -> int:
     if args.json:
 
         def _write_tables():
+            payload = _corpus_tables_dict(corpus_report, full_run)
+            if screening is not None:
+                payload["screening"] = {
+                    **_detector_config(args),
+                    **screening,
+                    "suspicious_sites": sorted(
+                        result.url
+                        for result in corpus_report.ok()
+                        if result.suspicious
+                    ),
+                }
             with open(args.json, "w") as handle:
-                json.dump(
-                    _corpus_tables_dict(corpus_report, full_run), handle, indent=2
-                )
+                json.dump(payload, handle, indent=2)
 
         error = _write_output(args.json, _write_tables)
         if error:
@@ -667,6 +751,7 @@ def cmd_corpus(args) -> int:
             # --jobs is an execution strategy, not a semantic input:
             # sharded and sequential runs are byte-identical by design,
             # so they share a config digest and diff against each other.
+            **_detector_config(args),
         },
         races=_corpus_ledger_races(corpus_report),
         totals={
@@ -710,6 +795,8 @@ def _corpus_ledger_races(corpus_report) -> List[dict]:
                     "description": race.get("description", ""),
                     "page": result.url,
                 }
+                if result.tier is not None:
+                    entries[key]["tier"] = result.tier
     return list(entries.values())
 
 
@@ -1142,6 +1229,28 @@ def _add_hb_backend(parser: argparse.ArgumentParser) -> None:
                         help="happens-before representation for CHC queries")
 
 
+def _add_detector(parser: argparse.ArgumentParser) -> None:
+    from .core.sampling import DETECTOR_MODES
+
+    parser.add_argument("--detector", choices=DETECTOR_MODES,
+                        default="exact",
+                        help="exact: full LastRead/LastWrite detection; "
+                             "sampling: budgeted screening only; two-tier: "
+                             "screen every page, escalate suspicious ones "
+                             "to exact detection over the recorded trace")
+    parser.add_argument("--sample-budget", type=int, default=None,
+                        metavar="N",
+                        help="max locations the sampling reservoir tracks "
+                             "(default 64; requires --detector "
+                             "sampling/two-tier)")
+    parser.add_argument("--sample-seed", type=int, default=None,
+                        metavar="N",
+                        help="seed for the sampling reservoir; per-page "
+                             "seeds derive position-independently from it "
+                             "(default 0; requires --detector "
+                             "sampling/two-tier)")
+
+
 def _add_scheduler(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scheduler", choices=SCHEDULER_POLICIES,
                         default="fifo",
@@ -1192,6 +1301,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--json", help="dump the trace to this file")
     _add_scheduler(check)
     _add_hb_backend(check)
+    _add_detector(check)
     _add_profiling(check)
     _add_reports(check)
     _add_ledger(check)
@@ -1211,6 +1321,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write Table 1 / Table 2 / totals as JSON")
     _add_scheduler(corpus)
     _add_hb_backend(corpus)
+    _add_detector(corpus)
     _add_profiling(corpus)
     _add_reports(corpus)
     _add_ledger(corpus)

@@ -55,6 +55,9 @@ class Monitor:
         full_history: bool = False,
         report_all_per_location: bool = False,
         hb_backend: str = "graph",
+        detector: str = "exact",
+        sample_budget: Optional[int] = None,
+        sample_seed: int = 0,
         obs=None,
     ):
         self.enabled = enabled
@@ -63,12 +66,31 @@ class Monitor:
         self.hb_backend = hb_backend
         self.graph = make_backend(hb_backend, obs=self.obs)
         self.rules = RuleEngine(self.graph)
-        self.detector = RaceDetector(
-            self.graph,
-            report_all_per_location=report_all_per_location,
-            obs=self.obs,
-            backend=hb_backend,
-        )
+        self.detector_mode = detector
+        if detector == "sampling":
+            from ..core.sampling import DEFAULT_SAMPLE_BUDGET, SamplingDetector
+
+            self.detector = SamplingDetector(
+                self.graph,
+                budget=(
+                    sample_budget
+                    if sample_budget is not None
+                    else DEFAULT_SAMPLE_BUDGET
+                ),
+                seed=sample_seed,
+                report_all_per_location=report_all_per_location,
+                obs=self.obs,
+                backend=hb_backend,
+            )
+        elif detector == "exact":
+            self.detector = RaceDetector(
+                self.graph,
+                report_all_per_location=report_all_per_location,
+                obs=self.obs,
+                backend=hb_backend,
+            )
+        else:
+            raise ValueError(f"unknown online detector mode: {detector!r}")
         self.trace.subscribe(self.detector.on_access)
         self.full_detector: Optional[FullHistoryDetector] = None
         if full_history:

@@ -85,6 +85,9 @@ class Browser:
         report_all_per_location: bool = False,
         tie_window: Optional[float] = None,
         hb_backend: str = "graph",
+        detector: str = "exact",
+        sample_budget: Optional[int] = None,
+        sample_seed: int = 0,
         obs=None,
     ):
         # One Browser is one page-load experiment: restart the allocation
@@ -126,6 +129,9 @@ class Browser:
             full_history=full_history,
             report_all_per_location=report_all_per_location,
             hb_backend=hb_backend,
+            detector=detector,
+            sample_budget=sample_budget,
+            sample_seed=sample_seed,
             obs=self.obs,
         )
 

@@ -1,0 +1,449 @@
+"""Budgeted sampling race detector (the two-tier screening pass).
+
+The exact detector (:mod:`repro.core.detector`) keeps a ``LastRead`` and a
+``LastWrite`` cell for *every* logical location a page ever touches — plus,
+downstream, a full per-``(op, location)`` access index for the Section 5.3
+filters.  That state is what stands between this reproduction and an
+always-on screening service: per-visit memory and filter cost scale with
+the page, not with a budget.  "Dynamic Race Detection With O(1) Samples"
+(PAPERS.md) shows that a detector tracking only a bounded, randomly chosen
+subset of locations keeps most of its recall; this module is that idea
+adapted to WebRacer's location model.
+
+:class:`SamplingDetector` tracks at most ``budget`` locations chosen by
+reservoir sampling (Algorithm R) over the stream of *candidate* locations,
+seeded for determinism.  Two WebRacer-specific refinements carry the
+recall:
+
+* **Candidate gating** — only locations touched by at least two distinct
+  operations ever enter the reservoir.  Single-operation locations (the
+  bulk of a page's JS heap) can never race, so spending budget on them is
+  pure waste; gating multiplies the effective budget by the
+  single-op/multi-op ratio (~3x on the corpus).
+* **Cold-access replay** — most HTML races are exactly two accesses
+  (parse writes the element, a script reads it).  A location only becomes
+  a candidate on its *second* operation's access, so the detector keeps a
+  two-cell summary of every cold location's first-operation history — its
+  first read and its last write — and replays both through the race check
+  at promotion time.  Without the replay, two-access races (the most
+  common shape) would be invisible, and the screening filters could not
+  see first-operation guard accesses ("did the user already type?"
+  read-before-write / write-after-read patterns), which would escalate a
+  steady fraction of clean pages on every visit.
+
+The *detector* state (last-access cells, per-location access logs, race
+records) is bounded by the budget.  The membership state (``_pending``,
+``_candidates``) is O(distinct locations) but holds one map entry per
+location instead of live access chains and index rows — the screening
+memory model is "budgeted heavy state over a thin membership skim".
+
+Screening verdict: a page is **suspicious** when any sampled race survives
+the Section 5.3 filters.  The filters only need ``read_before`` /
+``write_after`` answers on the racing pairs, so screening answers them
+from :class:`SampledAccessIndex` — built over the sampler's own bounded
+access logs — via :class:`SampledTraceView`, never touching the full
+trace index.  Escalation (:func:`escalate`) then re-feeds the recorded
+trace through a fresh exact detector over the already-built HB relation:
+no browser re-run, and by construction the escalated results equal what
+exact offline analysis of the same execution reports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from .access import READ, Access
+from .detector import READ_WRITE, WRITE_WRITE, RaceDetector
+from .filters import FilterChain
+from .hb.backend import HBBackend
+from .locations import Location
+from .trace import Trace
+from ..obs import NULL
+
+#: Default reservoir size; on the seeded corpus this screens the racy 41
+#: sites at >95% race recall while tracking ~1/4 of the median page's
+#: locations (see benchmarks/test_bench_sampling.py for the curve).
+DEFAULT_SAMPLE_BUDGET = 64
+
+#: The CLI surface for ``--detector``.
+DETECTOR_MODES = ("exact", "sampling", "two-tier")
+
+
+def derive_sample_seed(seed: int, page_index: int) -> int:
+    """Mix the sample seed with a page index, position-independently.
+
+    Same contract (and mixer) as
+    :func:`repro.browser.scheduler.derive_page_seed`: site K's reservoir
+    must be a function of ``(sample_seed, K)`` alone, never of what other
+    sites ran first — that is what makes ``--jobs N`` screening verdicts
+    byte-identical to sequential ones.
+    """
+    return (seed * 0x9E3779B1 + page_index * 0x85EBCA77 + 1) & 0x7FFFFFFF
+
+
+class SampledAccessIndex:
+    """Filter-facing access index over the sampler's tracked locations.
+
+    Answers the same two questions as
+    :class:`repro.core.trace.AccessIndex` — did an operation read the
+    location before seq N / write it after seq N — but only for locations
+    the sampler tracked, from its bounded access logs.  Lookups scan one
+    location's log (bounded by the accesses to that location); screening
+    asks them only for the handful of sampled races.
+    """
+
+    def __init__(self, logs: Dict[Location, List[Access]]):
+        self._logs = logs
+
+    def read_before(self, op_id: int, location: Location, seq: int) -> bool:
+        for access in self._logs.get(location, ()):
+            if access.is_read and access.op_id == op_id and access.seq < seq:
+                return True
+        return False
+
+    def write_after(self, op_id: int, location: Location, seq: int) -> bool:
+        for access in self._logs.get(location, ()):
+            if access.is_write and access.op_id == op_id and access.seq > seq:
+                return True
+        return False
+
+
+class SampledTraceView:
+    """A trace façade whose ``access_index()`` is the sampled index.
+
+    The Section 5.3 filters take a trace and call ``access_index()`` on
+    it; handing them this view runs the unmodified filters against the
+    sampler's bounded state.  Everything else (operations, crashes)
+    forwards to the real trace.
+    """
+
+    def __init__(self, trace: Trace, index: SampledAccessIndex):
+        self._trace = trace
+        self._index = index
+
+    def access_index(self) -> SampledAccessIndex:
+        return self._index
+
+    def __getattr__(self, name):
+        return getattr(self._trace, name)
+
+
+class _Cold(object):
+    """Read/write envelope of a location still touched by one operation."""
+
+    __slots__ = ("first_read", "last_write", "op_id")
+
+    def __init__(self, access: Access):
+        if access.kind == READ:
+            self.first_read = access
+            self.last_write = None
+        else:
+            self.first_read = None
+            self.last_write = access
+        self.op_id = access.op_id
+
+
+#: State marker for candidate locations outside the reservoir (never
+#: admitted, or evicted); their accesses cost one dict probe and return.
+_CANDIDATE = object()
+
+
+class SamplingDetector(RaceDetector):
+    """Reservoir-sampled variant of the LastRead/LastWrite detector.
+
+    Drop-in for :class:`~repro.core.detector.RaceDetector` (the monitor
+    subscribes ``on_access`` the same way); only accesses to the tracked
+    location subset reach the race check, so races found here are a
+    screening signal, not a complete report.
+
+    The sweep must be cheaper per access than the exact detector's or
+    screening buys nothing, so all membership state lives in **one**
+    dict: each location maps to a :class:`_Cold` envelope, the
+    ``_CANDIDATE`` marker, or its tracked access log (a plain list).
+    The hot path is a single hash probe plus a class check; only tracked
+    locations — bounded by the budget — fall through to the exact
+    LastRead/LastWrite race check.
+    """
+
+    def __init__(
+        self,
+        hb: HBBackend,
+        budget: int = DEFAULT_SAMPLE_BUDGET,
+        seed: int = 0,
+        report_all_per_location: bool = False,
+        obs=None,
+        backend: str = "",
+    ):
+        if budget < 1:
+            raise ValueError(f"sample budget must be >= 1, got {budget}")
+        super().__init__(
+            hb,
+            report_all_per_location=report_all_per_location,
+            obs=obs,
+            backend=backend,
+        )
+        self.budget = budget
+        self.seed = seed
+        #: 31-bit LCG state for admission rolls.  Admission runs once per
+        #: candidate location on the hot path; it needs speed and
+        #: seed-stable determinism, not statistical-grade uniformity
+        #: (``random.Random.randrange`` showed up at ~5% of sweep time).
+        self._rand = (seed ^ 0x5DEECE66) & 0x7FFFFFFF
+        #: The single membership map: ``_Cold`` envelope (one operation so
+        #: far), ``_CANDIDATE`` (outside the reservoir for good — never
+        #: admitted or evicted, so a location never re-rolls Algorithm R's
+        #: admission), or the location's tracked access log (a list).
+        self._state: Dict[Location, Any] = {}
+        #: Reservoir slots, indexable for deterministic replacement.
+        self._slots: List[Location] = []
+        #: Per-tracked-location access logs (feeds the filters); entries
+        #: alias the lists in ``_state`` and may outlive eviction when a
+        #: reported race still needs them (see ``_evict``).
+        self._logs: Dict[Location, List[Access]] = {}
+        self.candidate_count = 0
+        self.evictions = 0
+        self.tracked_peak = 0
+
+    # ------------------------------------------------------------------
+
+    def is_tracked(self, location: Location) -> bool:
+        """Is this location currently in the reservoir?"""
+        return type(self._state.get(location)) is list
+
+    @property
+    def tracked_count(self) -> int:
+        """How many locations the reservoir currently holds."""
+        return len(self._slots)
+
+    @property
+    def distinct_locations(self) -> int:
+        """Distinct locations observed so far (any number of ops)."""
+        return len(self._state)
+
+    def stats(self) -> Dict[str, int]:
+        """Picklable screening-state summary for reports and the ledger."""
+        return {
+            "budget": self.budget,
+            "seed": self.seed,
+            "distinct_locations": self.distinct_locations,
+            "candidate_locations": self.candidate_count,
+            "tracked_peak": self.tracked_peak,
+            "evictions": self.evictions,
+            "races_sampled": len(self.races),
+            "chc_queries": self.chc_queries,
+        }
+
+    def sampled_index(self) -> SampledAccessIndex:
+        """The filter-facing index over the tracked access logs."""
+        return SampledAccessIndex(self._logs)
+
+    def trace_view(self, trace: Trace) -> SampledTraceView:
+        """``trace`` restricted to the sampled index, for the filters."""
+        return SampledTraceView(trace, self.sampled_index())
+
+    # ------------------------------------------------------------------
+
+    def on_access(self, access: Access) -> None:
+        state = self._state.get(access.location)
+        if state is None:  # first touch: open a cold envelope
+            self._state[access.location] = _Cold(access)
+            return
+        cls = state.__class__
+        if cls is list:  # tracked: log + full race check
+            state.append(access)
+            super().on_access(access)
+            return
+        if cls is not _Cold:  # _CANDIDATE: sampled out
+            return
+        if state.op_id == access.op_id:
+            # Still single-operation: fold into the read/write envelope
+            # (earliest read, latest write) instead of growing a log.
+            if access.is_read:
+                if state.first_read is None:
+                    state.first_read = access
+            else:
+                state.last_write = access
+            return
+        self._promote(state, access)
+
+    def sweep(self, accesses) -> None:
+        """Feed a recorded access stream through the detector, batched.
+
+        Same semantics as calling :meth:`on_access` per access (the
+        online path the monitor uses — and the source of truth the unit
+        tests pin this against), with the membership dispatch inlined and
+        its lookups hoisted out of the loop, and the tracked-location
+        branch a mirror of :meth:`RaceDetector.on_access` with the
+        empty-slot / same-operation guards hoisted in front of the
+        ``_chc`` call.  The per-access constant overhead is what
+        screening a recorded trace competes with the exact sweep on.
+        """
+        state_get = self._state.get
+        state_map = self._state
+        promote = self._promote
+        last_read = self.last_read
+        last_write = self.last_write
+        last_read_get = last_read.get
+        last_write_get = last_write.get
+        chc = self._chc
+        report = self._report
+        for access in accesses:
+            state = state_get(access.location)
+            cls = state.__class__
+            if cls is _Cold:
+                if state.op_id == access.op_id:
+                    if access.kind == READ:
+                        if state.first_read is None:
+                            state.first_read = access
+                    else:
+                        state.last_write = access
+                else:
+                    promote(state, access)
+            elif state is None:
+                state_map[access.location] = _Cold(access)
+            elif cls is list:  # tracked: log + full race check
+                state.append(access)
+                location = access.location
+                op_id = access.op_id
+                prior_write = last_write_get(location)
+                if prior_write is not None and prior_write.op_id == op_id:
+                    prior_write = None  # same-op pairs never race
+                if access.kind == READ:
+                    if prior_write is not None and chc(prior_write, access):
+                        report(prior_write, access, READ_WRITE)
+                    last_read[location] = access
+                else:
+                    prior_read = last_read_get(location)
+                    if prior_read is not None and prior_read.op_id == op_id:
+                        prior_read = None
+                    write_races = prior_write is not None and chc(
+                        prior_write, access
+                    )
+                    read_races = prior_read is not None and chc(
+                        prior_read, access
+                    )
+                    if write_races:
+                        report(prior_write, access, WRITE_WRITE)
+                    if read_races and (
+                        not write_races or self.report_all_per_location
+                    ):
+                        report(prior_read, access, READ_WRITE)
+                    last_write[location] = access
+            # else _CANDIDATE: sampled out, nothing to do
+
+    def _promote(self, state: "_Cold", access: Access) -> None:
+        """Second distinct operation: the location becomes a candidate.
+
+        On admission the first operation's envelope seeds the detector
+        cells directly — its accesses share one operation, so no pair of
+        them can race and replaying them through the race check would
+        only burn same-op CHC guards.  Only the current access (the
+        second operation) is race-checked.
+        """
+        location = access.location
+        self.candidate_count += 1
+        if self._admit(location):
+            log = self._state[location]
+            first_read = state.first_read
+            last_write = state.last_write
+            if first_read is not None:
+                log.append(first_read)
+                self.last_read[location] = first_read
+            if last_write is not None:
+                log.append(last_write)
+                self.last_write[location] = last_write
+                if first_read is not None and first_read.seq > last_write.seq:
+                    log.reverse()
+            log.append(access)
+            super().on_access(access)
+        else:
+            self._state[location] = _CANDIDATE
+
+    def _admit(self, location: Location) -> bool:
+        """Algorithm R admission of a new candidate into the reservoir.
+
+        On admission the location's state becomes its (empty) access log.
+        """
+        if len(self._slots) < self.budget:
+            self._slots.append(location)
+        else:
+            # glibc LCG; the low bits cycle short, so draw from the top.
+            self._rand = roll = (
+                self._rand * 1103515245 + 12345
+            ) & 0x7FFFFFFF
+            slot = (roll >> 8) % self.candidate_count
+            if slot >= self.budget:
+                return False
+            self._evict(self._slots[slot])
+            self._slots[slot] = location
+        self._state[location] = self._logs[location] = []
+        self.tracked_peak = max(self.tracked_peak, len(self._slots))
+        return True
+
+    def _evict(self, location: Location) -> None:
+        """Drop a location's tracked state (keep logs behind its races)."""
+        self.evictions += 1
+        self._state[location] = _CANDIDATE
+        self.last_read.pop(location, None)
+        self.last_write.pop(location, None)
+        if location not in self._reported_locations:
+            # A reported race still needs its log for the screening
+            # filters; unreported locations free their log with the slot.
+            del self._logs[location]
+        if self.obs.enabled:
+            self.obs.count("sampling.evicted")
+
+
+def screen_races(
+    detector: SamplingDetector, trace: Trace, obs=None
+) -> Tuple[List, Dict[str, int]]:
+    """Run the Section 5.3 filters over the sampled races.
+
+    Returns ``(surviving_races, removed_counts)``.  The page is
+    *suspicious* exactly when any race survives: the synthetic noise the
+    filters exist to suppress (async-library variable races, repeatable
+    event-dispatch races) must not escalate every clean page, and HTML /
+    function races pass the filters untouched — so filter survival is the
+    same "worth a human's time" bar the exact pipeline applies.
+    """
+    obs = obs if obs is not None else NULL
+    if not detector.races:  # nothing sampled: skip the filter machinery
+        return [], {}
+    with obs.span("screen", cat="pipeline", races=len(detector.races)):
+        chain = FilterChain(obs=NULL)
+        kept = chain.apply(list(detector.races), detector.trace_view(trace))
+    return kept, chain.removed_counts()
+
+
+def escalate(
+    trace: Trace,
+    hb: HBBackend,
+    report_all_per_location: bool = False,
+    obs=None,
+    backend: str = "",
+) -> RaceDetector:
+    """Tier 2: exact detection of a recorded execution, no browser re-run.
+
+    Re-feeds the trace's access stream through a fresh exact
+    :class:`RaceDetector` over the *already built* happens-before
+    relation.  Because the inputs are exactly the recorded execution, the
+    escalated report equals what exact offline analysis (``repro
+    analyze``) of this trace yields — the contract the two-tier property
+    tests pin.  Cost is one detector sweep over the accesses; the page's
+    dominant costs (browser emulation, HB construction) are never paid
+    twice.
+    """
+    obs = obs if obs is not None else NULL
+    detector = RaceDetector(
+        hb,
+        report_all_per_location=report_all_per_location,
+        obs=NULL,
+        backend=backend,
+    )
+    with obs.span("detect.escalate", cat="pipeline", accesses=len(trace.accesses)):
+        on_access = detector.on_access
+        for access in trace.accesses:
+            on_access(access)
+    if obs.enabled:
+        obs.count("sampling.escalated")
+    return detector

@@ -93,6 +93,9 @@ def run_site_task(payload: Dict[str, Any]) -> SiteResult:
         scheduler=payload.get("scheduler", "fifo"),
         schedule_seed=payload.get("schedule_seed"),
         hb_backend=payload.get("hb_backend", "graph"),
+        detector=payload.get("detector", "exact"),
+        sample_budget=payload.get("sample_budget"),
+        sample_seed=payload.get("sample_seed", 0),
         obs=obs,
     )
     result = racer.run_site_guarded(
@@ -116,6 +119,9 @@ def run_corpus_parallel(
     scheduler: Any = "fifo",
     schedule_seed: Optional[int] = None,
     hb_backend: str = "graph",
+    detector: str = "exact",
+    sample_budget: Optional[int] = None,
+    sample_seed: int = 0,
     timeout: Optional[float] = None,
     collect_evidence: bool = False,
     obs: Optional[Instrumentation] = None,
@@ -137,6 +143,9 @@ def run_corpus_parallel(
             "scheduler": scheduler,
             "schedule_seed": schedule_seed,
             "hb_backend": hb_backend,
+            "detector": detector,
+            "sample_budget": sample_budget,
+            "sample_seed": sample_seed,
             "timeout": timeout,
             "collect_evidence": collect_evidence,
             "with_obs": obs is not None,

@@ -344,6 +344,10 @@ _RUN_RACE = {
         "location": {"type": "string"},
         "page": {"type": "string"},
         "description": {"type": "string"},
+        # Which detection tier reported the race (sampling/two-tier runs
+        # only): "screen" = the budgeted sampler, "escalated" = exact
+        # detection re-run over the recorded trace of a suspicious page.
+        "tier": {"type": "string", "enum": ["screen", "escalated"]},
     },
 }
 

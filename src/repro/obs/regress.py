@@ -15,6 +15,7 @@ Race diffs have no such smoothing: one new fingerprint is one new race.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -40,19 +41,29 @@ class PhaseDelta:
 
     @property
     def delta_pct(self) -> Optional[float]:
-        """Percent change from A to B (``None`` when A recorded 0 ms)."""
+        """Percent change from A to B.
+
+        A phase the baseline recorded at 0 ms (empty page, sub-ms phase
+        on a fast machine, span name new in run B) has no finite percent
+        change: the value is ``inf`` when B spent time on it — so the
+        regression gate still sees a brand-new expensive phase — and
+        ``None`` when neither run measured it.  Never raises.
+        """
         if self.a_ms <= 0:
-            return None
+            return float("inf") if self.b_ms > 0 else None
         return (self.b_ms - self.a_ms) / self.a_ms * 100.0
 
     def to_dict(self) -> Dict[str, Any]:
+        # inf is not valid JSON; the dict encodes "new phase" as None
+        # (consumers distinguish it by a_ms == 0, b_ms > 0).
         pct = self.delta_pct
+        finite = pct is not None and math.isfinite(pct)
         return {
             "phase": self.phase,
             "a_ms": round(self.a_ms, 3),
             "b_ms": round(self.b_ms, 3),
             "delta_ms": round(self.delta_ms, 3),
-            "delta_pct": round(pct, 2) if pct is not None else None,
+            "delta_pct": round(pct, 2) if finite else None,
         }
 
 
@@ -128,8 +139,11 @@ def perf_regressions(
 ) -> List[PhaseDelta]:
     """Phases that slowed down past the gate.
 
-    A phase regresses when both runs measured it, the later run spent at
-    least ``min_ms`` on it, and the increase exceeds ``threshold_pct``.
+    A phase regresses when the later run spent at least ``min_ms`` on it
+    and the increase exceeds ``threshold_pct``.  A phase the baseline
+    recorded at 0 ms gates like any other: its ``delta_pct`` is ``inf``,
+    so a new phase that costs real time always flags (and a 0 -> 0 phase
+    never does).
     """
     flagged = []
     for delta in diff.phase_deltas:
@@ -176,7 +190,8 @@ def render_diff_text(
         )
         for delta in timed:
             pct = delta.delta_pct
-            pct_text = f"{pct:+8.1f}%" if pct is not None else "      new"
+            finite = pct is not None and math.isfinite(pct)
+            pct_text = f"{pct:+8.1f}%" if finite else "      new"
             lines.append(
                 f"  {delta.phase:28s} {delta.a_ms:10.2f} "
                 f"{delta.b_ms:10.2f} {pct_text}"

@@ -38,6 +38,13 @@ from .browser.scheduler import (
 )
 from .core.detector import Race
 from .core.filters import FilterChain
+from .core.sampling import (
+    DETECTOR_MODES,
+    SamplingDetector,
+    derive_sample_seed,
+    escalate,
+    screen_races,
+)
 from .core.report import (
     RACE_TYPES,
     RaceReport,
@@ -69,6 +76,15 @@ class PageReport:
     predicted_races: List[Any] = field(default_factory=list)
     #: The full :class:`~repro.core.hb.shb.ShbAnalysis` behind them.
     shb_analysis: Optional[Any] = None
+    #: Which detection tier produced this report: ``None`` for the exact
+    #: pipeline, ``"screen"`` when only the sampling screen ran,
+    #: ``"escalated"`` when the screen flagged the page and tier 2 re-ran
+    #: exact detection over the recorded trace.
+    tier: Optional[str] = None
+    #: Screening verdict (``None`` outside sampling/two-tier modes).
+    suspicious: Optional[bool] = None
+    #: :meth:`~repro.core.sampling.SamplingDetector.stats` snapshot.
+    sampling: Optional[Dict[str, int]] = None
 
     @property
     def trace(self) -> Trace:
@@ -94,10 +110,11 @@ class PageReport:
             if self.predicted_races
             else ""
         )
+        tier = f" [tier: {self.tier}]" if self.tier else ""
         return (
             f"{self.url}: {len(self.raw_races)} raw races, "
             f"{len(self.filtered_races)} after filtering "
-            f"({len(self.classified.harmful())} harmful){predicted} — "
+            f"({len(self.classified.harmful())} harmful){predicted}{tier} — "
             + self.classified.summary()
         )
 
@@ -163,6 +180,12 @@ class SiteResult:
     accesses: int = 0
     chc_queries: int = 0
     duration_ms: float = 0.0
+    #: Detection tier (``None`` = exact pipeline, else "screen" /
+    #: "escalated"), screening verdict, and sampler stats — set only by
+    #: sampling/two-tier runs.  Plain values, so they shard cleanly.
+    tier: Optional[str] = None
+    suspicious: Optional[bool] = None
+    sampling: Optional[Dict[str, int]] = None
     #: Page dict (``repro.explain.report_json.page_evidence_dict`` shape)
     #: when evidence collection was requested; feeds ``--report-json``.
     report_page: Optional[Dict[str, Any]] = None
@@ -224,6 +247,9 @@ class SiteResult:
             accesses=len(page_report.trace.accesses),
             chc_queries=page_report.page.monitor.detector.chc_queries,
             duration_ms=duration_ms,
+            tier=page_report.tier,
+            suspicious=page_report.suspicious,
+            sampling=dict(page_report.sampling) if page_report.sampling else None,
             page_report=page_report if keep_page else None,
         )
 
@@ -327,6 +353,20 @@ class CorpusReport:
                 totals[race_type] += count
         return totals
 
+    def screening_summary(self) -> Optional[Dict[str, int]]:
+        """Two-tier screening totals, or ``None`` for exact-only runs."""
+        screened = [result for result in self.ok() if result.tier is not None]
+        if not screened:
+            return None
+        return {
+            "sites_screened": len(screened),
+            "suspicious": sum(1 for r in screened if r.suspicious),
+            "escalated": sum(1 for r in screened if r.tier == "escalated"),
+            "tracked_peak_max": max(
+                (r.sampling or {}).get("tracked_peak", 0) for r in screened
+            ),
+        }
+
 
 class WebRacer:
     """The dynamic race detector, configured once and reused across pages."""
@@ -345,8 +385,16 @@ class WebRacer:
         max_latency: float = 120.0,
         max_run_ms: Optional[float] = None,
         hb_backend: str = "graph",
+        detector: str = "exact",
+        sample_budget: Optional[int] = None,
+        sample_seed: int = 0,
         obs=None,
     ):
+        if detector not in DETECTOR_MODES:
+            raise ValueError(
+                f"unknown detector mode {detector!r}; "
+                f"expected one of {', '.join(DETECTOR_MODES)}"
+            )
         self.seed = seed
         self.scheduler = scheduler
         #: Base seed for random scheduling; defaults to ``seed``.  Kept
@@ -365,6 +413,14 @@ class WebRacer:
         self.max_latency = max_latency
         self.max_run_ms = max_run_ms
         self.hb_backend = hb_backend
+        #: ``"exact"`` (the paper's pipeline), ``"sampling"`` (screening
+        #: pass only), or ``"two-tier"`` (screen, then escalate suspicious
+        #: pages through exact detection over the recorded trace).
+        self.detector = detector
+        self.sample_budget = sample_budget
+        #: Base seed for the reservoir; per-page seeds derive
+        #: position-independently (:func:`derive_sample_seed`).
+        self.sample_seed = sample_seed
         #: Observability sink threaded through Browser → Monitor →
         #: detector/filters; the default null sink records nothing.
         self.obs = obs if obs is not None else NULL
@@ -410,6 +466,11 @@ class WebRacer:
             full_history=self.full_history,
             report_all_per_location=self.report_all_per_location,
             hb_backend=self.hb_backend,
+            # Both sampling and two-tier run the sampler online; the
+            # two-tier escalation happens after the page in report_for.
+            detector="sampling" if self.detector != "exact" else "exact",
+            sample_budget=self.sample_budget,
+            sample_seed=derive_sample_seed(self.sample_seed, page_index),
             obs=self.obs,
         )
 
@@ -442,8 +503,76 @@ class WebRacer:
             return self.report_for(page, url)
 
     def report_for(self, page: Page, url: str = "page.html") -> PageReport:
-        """Build a :class:`PageReport` from an already-run page."""
-        raw_races = list(page.races)
+        """Build a :class:`PageReport` from an already-run page.
+
+        Exact mode reports straight from the online detector.  Sampling
+        and two-tier mode screen first: the Section 5.3 filters run over
+        the sampler's races against its own bounded access index, and the
+        page is *suspicious* when anything survives.  Two-tier then
+        escalates suspicious pages — exact detection re-fed from the
+        recorded trace over the already-built HB relation, no browser
+        re-run — so escalated pages report exactly what exact offline
+        analysis of the same execution reports, and clean pages never pay
+        for full detection or filtering.
+        """
+        if isinstance(page.monitor.detector, SamplingDetector):
+            return self._screened_report(page, url)
+        return self._exact_report(page, url, list(page.races))
+
+    def _screened_report(self, page: Page, url: str) -> PageReport:
+        """Tier-1 screening verdict (plus tier-2 escalation in two-tier)."""
+        sampler = page.monitor.detector
+        sampled_raw = list(sampler.races)
+        if self.apply_filters:
+            screened, screen_removed = screen_races(
+                sampler, page.trace, obs=self.obs
+            )
+        else:
+            screened, screen_removed = list(sampled_raw), {}
+        suspicious = bool(screened)
+        stats = sampler.stats()
+        if self.obs.enabled:
+            self.obs.count("sampling.sites_screened")
+            if suspicious:
+                self.obs.count("sampling.suspicious")
+        if self.detector == "two-tier" and suspicious:
+            exact = escalate(
+                page.trace,
+                page.monitor.graph,
+                report_all_per_location=self.report_all_per_location,
+                obs=self.obs,
+                backend=self.hb_backend,
+            )
+            stats["chc_queries_escalated"] = exact.chc_queries
+            report = self._exact_report(page, url, list(exact.races))
+            report.tier = "escalated"
+            report.suspicious = True
+            report.sampling = stats
+            return report
+        with self.obs.span("classify", cat="pipeline", races=len(sampled_raw)):
+            classified = build_report(screened, page.trace)
+            raw_classified = build_report(sampled_raw, page.trace)
+        if self.obs.enabled:
+            self.obs.count("races.raw", len(sampled_raw))
+            self.obs.count("races.filtered", len(screened))
+            self.obs.count("races.harmful", len(classified.harmful()))
+        return PageReport(
+            url=url,
+            page=page,
+            raw_races=sampled_raw,
+            filtered_races=screened,
+            classified=classified,
+            raw_classified=raw_classified,
+            filter_removed=screen_removed,
+            tier="screen",
+            suspicious=suspicious,
+            sampling=stats,
+        )
+
+    def _exact_report(
+        self, page: Page, url: str, raw_races: List[Race]
+    ) -> PageReport:
+        """The paper's pipeline over ``raw_races``: filter and classify."""
         filter_removed: Dict[str, int] = {}
         if self.apply_filters:
             chain = FilterChain(obs=self.obs)
@@ -625,6 +754,9 @@ class WebRacer:
             scheduler=self.scheduler,
             schedule_seed=self.schedule_seed,
             hb_backend=self.hb_backend,
+            detector=self.detector,
+            sample_budget=self.sample_budget,
+            sample_seed=self.sample_seed,
             timeout=timeout,
             collect_evidence=collect_evidence,
             obs=self.obs if self.obs.enabled else None,

@@ -1,0 +1,279 @@
+"""Tests for the budgeted sampling detector (two-tier screening)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.access import READ, WRITE, Access
+from repro.core.detector import RaceDetector
+from repro.core.hb.graph import HBGraph
+from repro.core.locations import VarLocation
+from repro.core.sampling import (
+    DEFAULT_SAMPLE_BUDGET,
+    SamplingDetector,
+    derive_sample_seed,
+    escalate,
+    screen_races,
+)
+
+
+def var(index):
+    return VarLocation(cell_id=index, name=f"v{index}")
+
+
+def access(kind, op, location, seq=-1):
+    return Access(kind=kind, op_id=op, location=location, seq=seq)
+
+
+def concurrent_graph(*ops):
+    """A graph where every listed operation is pairwise concurrent."""
+    graph = HBGraph()
+    for op in ops:
+        graph.add_edge(0, op)
+    return graph
+
+
+class TestConstruction:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match="sample budget"):
+            SamplingDetector(HBGraph(), budget=0)
+        with pytest.raises(ValueError):
+            SamplingDetector(HBGraph(), budget=-3)
+
+    def test_defaults(self):
+        det = SamplingDetector(HBGraph())
+        assert det.budget == DEFAULT_SAMPLE_BUDGET
+        assert det.tracked_count == 0
+        assert det.stats()["races_sampled"] == 0
+
+
+class TestCandidateGating:
+    def test_single_operation_locations_never_enter_the_reservoir(self):
+        det = SamplingDetector(concurrent_graph(1), budget=4)
+        for index in range(10):
+            det.on_access(access(WRITE, 1, var(index)))
+            det.on_access(access(READ, 1, var(index)))
+        assert det.candidate_count == 0
+        assert det.tracked_count == 0
+        assert det.distinct_locations == 10
+
+    def test_second_operation_promotes(self):
+        det = SamplingDetector(concurrent_graph(1, 2), budget=4)
+        det.on_access(access(WRITE, 1, var(0)))
+        assert not det.is_tracked(var(0))
+        det.on_access(access(READ, 2, var(0)))
+        assert det.is_tracked(var(0))
+        assert det.candidate_count == 1
+
+
+class TestBudgetEnforcement:
+    def test_reservoir_never_exceeds_budget(self):
+        det = SamplingDetector(concurrent_graph(1, 2), budget=3, seed=7)
+        for index in range(50):
+            det.on_access(access(WRITE, 1, var(index)))
+            det.on_access(access(READ, 2, var(index)))
+        assert det.candidate_count == 50
+        assert det.tracked_count <= 3
+        assert det.tracked_peak <= 3
+        # Every admission either fills a slot or evicts a prior tenant.
+        admitted = det.tracked_count + det.evictions
+        assert admitted <= det.candidate_count
+
+    def test_some_seed_exercises_eviction(self):
+        # Algorithm R with budget 1 over 30 candidates replaces the
+        # tenant with probability 1/k at candidate k; at least one seed
+        # in a small deterministic range must do so.
+        evicted = []
+        for seed in range(20):
+            det = SamplingDetector(concurrent_graph(1, 2), budget=1, seed=seed)
+            for index in range(30):
+                det.on_access(access(WRITE, 1, var(index)))
+                det.on_access(access(READ, 2, var(index)))
+            evicted.append(det.evictions)
+        assert any(evicted)
+
+    def test_evicted_location_stops_tracking(self):
+        for seed in range(20):
+            det = SamplingDetector(concurrent_graph(1, 2), budget=1, seed=seed)
+            for index in range(30):
+                det.on_access(access(WRITE, 1, var(index)))
+                det.on_access(access(READ, 2, var(index)))
+            if det.evictions:
+                break
+        assert det.evictions
+        assert det.tracked_count == 1
+        tracked = [
+            var(index) for index in range(30) if det.is_tracked(var(index))
+        ]
+        assert len(tracked) == 1
+        # Later accesses to a non-tracked candidate are ignored silently.
+        races_before = len(det.races)
+        untracked = next(
+            var(index) for index in range(30) if not det.is_tracked(var(index))
+        )
+        det.on_access(access(WRITE, 2, untracked))
+        assert len(det.races) == races_before
+
+
+class TestEnvelopeReplay:
+    def test_two_access_race_is_caught_despite_late_promotion(self):
+        # The most common web race shape: the parser writes (op 1), a
+        # script reads (op 2), nothing else touches the location.  The
+        # location only becomes a candidate on the read — the write must
+        # be replayed from the cold envelope or the race is invisible.
+        det = SamplingDetector(concurrent_graph(1, 2), budget=4)
+        det.on_access(access(WRITE, 1, var(0), seq=0))
+        det.on_access(access(READ, 2, var(0), seq=1))
+        assert len(det.races) == 1
+        assert det.races[0].prior.op_id == 1
+        assert det.races[0].current.op_id == 2
+
+    def test_envelope_keeps_first_read_and_last_write(self):
+        # op 1: read, write, write; op 2 then writes concurrently.  The
+        # envelope must surface op 1's first read (for read/write races
+        # and the filters' read_before) and its last write.
+        det = SamplingDetector(concurrent_graph(1, 2), budget=4)
+        det.on_access(access(READ, 1, var(0), seq=0))
+        det.on_access(access(WRITE, 1, var(0), seq=1))
+        det.on_access(access(WRITE, 1, var(0), seq=2))
+        det.on_access(access(WRITE, 2, var(0), seq=3))
+        kinds = {(race.prior.seq, race.current.seq) for race in det.races}
+        assert (2, 3) in kinds  # last write vs the new write
+        index = det.sampled_index()
+        assert index.read_before(1, var(0), seq=3)
+        assert index.write_after(1, var(0), seq=1)
+
+    def test_ordered_two_access_pair_does_not_race(self):
+        graph = HBGraph()
+        graph.add_edge(1, 2)
+        det = SamplingDetector(graph, budget=4)
+        det.on_access(access(WRITE, 1, var(0), seq=0))
+        det.on_access(access(READ, 2, var(0), seq=1))
+        assert det.races == []
+
+
+class TestDeterminism:
+    def feed(self, seed, budget=2):
+        det = SamplingDetector(concurrent_graph(1, 2), budget=budget, seed=seed)
+        seq = 0
+        for index in range(40):
+            det.on_access(access(WRITE, 1, var(index), seq=seq))
+            det.on_access(access(READ, 2, var(index), seq=seq + 1))
+            seq += 2
+        return det
+
+    def test_same_seed_same_everything(self):
+        a, b = self.feed(seed=5), self.feed(seed=5)
+        assert a.stats() == b.stats()
+        assert [race.pair_key() for race in a.races] == [
+            race.pair_key() for race in b.races
+        ]
+        assert a._slots == b._slots
+
+    def test_different_seeds_can_differ(self):
+        tracked = {
+            tuple(self.feed(seed=seed)._slots) for seed in range(10)
+        }
+        assert len(tracked) > 1
+
+    def test_derive_sample_seed_is_position_independent(self):
+        seeds = [derive_sample_seed(0, index) for index in range(100)]
+        assert len(set(seeds)) == 100
+        assert all(0 <= seed < 2**31 for seed in seeds)
+        assert derive_sample_seed(0, 7) == derive_sample_seed(0, 7)
+        assert derive_sample_seed(0, 7) != derive_sample_seed(1, 7)
+
+
+class TestScreenAndEscalate:
+    def test_screen_with_no_sampled_races_is_clean(self):
+        det = SamplingDetector(concurrent_graph(1, 2), budget=4)
+
+        class _Trace:
+            accesses = ()
+
+        kept, removed = screen_races(det, _Trace())
+        assert kept == []
+        assert removed == {}
+
+    def test_escalate_equals_exact_offline_analysis(self):
+        graph = concurrent_graph(1, 2, 3)
+
+        class _Trace:
+            accesses = [
+                access(WRITE, 1, var(0), seq=0),
+                access(READ, 2, var(0), seq=1),
+                access(WRITE, 3, var(1), seq=2),
+                access(WRITE, 2, var(1), seq=3),
+            ]
+
+        trace = _Trace()
+        exact = RaceDetector(graph)
+        for acc in trace.accesses:
+            exact.on_access(acc)
+        escalated = escalate(trace, graph)
+        assert [race.pair_key() for race in escalated.races] == [
+            race.pair_key() for race in exact.races
+        ]
+        assert escalated.chc_queries == exact.chc_queries
+
+
+# ----------------------------------------------------------------------
+# hypothesis: sweep() must be behaviourally identical to per-access
+# on_access (the online path), and sampled races a subset of exact ones.
+
+ops = st.integers(1, 8)
+edges_strategy = st.lists(
+    st.tuples(ops, ops)
+    .map(lambda p: (min(p), max(p)))
+    .filter(lambda p: p[0] != p[1]),
+    max_size=12,
+)
+accesses_strategy = st.lists(
+    st.tuples(st.sampled_from([READ, WRITE]), ops, st.integers(0, 5)),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _build(edges, raw):
+    graph = HBGraph()
+    for src, dst in edges:
+        graph.add_edge(src, dst)
+    for _kind, op, _loc in raw:
+        graph.add_operation(op)
+    recorded = [
+        access(kind, op, var(loc), seq=seq)
+        for seq, (kind, op, loc) in enumerate(raw)
+    ]
+    return graph, recorded
+
+
+@given(edges_strategy, accesses_strategy, st.integers(0, 2**31 - 1))
+@settings(max_examples=200, deadline=None)
+def test_sweep_equals_per_access_on_access(edges, raw, seed):
+    graph, recorded = _build(edges, raw)
+    online = SamplingDetector(graph, budget=3, seed=seed)
+    for acc in recorded:
+        online.on_access(acc)
+    batched = SamplingDetector(graph, budget=3, seed=seed)
+    batched.sweep(recorded)
+    assert online.stats() == batched.stats()
+    assert [race.pair_key() for race in online.races] == [
+        race.pair_key() for race in batched.races
+    ]
+    assert online._slots == batched._slots
+
+
+@given(edges_strategy, accesses_strategy, st.integers(0, 2**31 - 1))
+@settings(max_examples=200, deadline=None)
+def test_sampled_races_are_a_subset_of_exact_races(edges, raw, seed):
+    graph, recorded = _build(edges, raw)
+    exact = RaceDetector(graph, report_all_per_location=True)
+    sampled = SamplingDetector(
+        graph, budget=2, seed=seed, report_all_per_location=True
+    )
+    for acc in recorded:
+        exact.on_access(acc)
+        sampled.on_access(acc)
+    exact_keys = {race.pair_key() for race in exact.races}
+    sampled_keys = {race.pair_key() for race in sampled.races}
+    assert sampled_keys <= exact_keys

@@ -245,6 +245,27 @@ class TestDiff:
         assert status == 2
         assert err.startswith("error: no earlier")
 
+    def test_against_last_on_empty_ledger_exits_2(self, tmp_path, capsys):
+        ledger_dir = tmp_path / "ledger"
+        ledger_dir.mkdir()
+        (ledger_dir / "runs.jsonl").write_text("")
+        status = main(
+            ["diff", "--against", "last", "--ledger", str(ledger_dir)]
+        )
+        err = capsys.readouterr().err
+        assert status == 2
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_against_last_on_missing_ledger_exits_2(self, tmp_path, capsys):
+        status = main(
+            ["diff", "--against", "last", "--ledger", str(tmp_path / "nope")]
+        )
+        err = capsys.readouterr().err
+        assert status == 2
+        assert err.startswith("error: no ledger")
+        assert len(err.strip().splitlines()) == 1
+
     def test_diff_usage_errors(self, tmp_path, capsys):
         ledger_dir = tmp_path / "ledger"
         assert main(["diff", "--ledger", str(ledger_dir)]) == 2
@@ -259,6 +280,62 @@ class TestDiff:
             == 2
         )
         capsys.readouterr()
+
+
+class TestHistoryEdgeCases:
+    """Trend HTML must survive degenerate series (the old sparkline pins)."""
+
+    def test_single_run_trend_html_renders(
+        self, buggy_page, tmp_path, capsys
+    ):
+        page, hint = buggy_page
+        ledger_dir = tmp_path / "ledger"
+        run_check(capsys, page, hint, ledger_dir)
+        html_path = tmp_path / "trend.html"
+        status = main(
+            [
+                "history", "--ledger", str(ledger_dir),
+                "--html", str(html_path),
+            ]
+        )
+        capsys.readouterr()
+        assert status == 0
+        html = html_path.read_text()
+        # One run means a one-point series: a valid polyline, no NaN or
+        # division-by-zero coordinates.
+        assert "<svg" in html
+        assert "nan" not in html.lower()
+        assert "polyline" in html
+
+    def test_clean_run_with_no_races_renders(self, tmp_path, capsys):
+        page = tmp_path / "clean.html"
+        page.write_text("<p>static page, no scripts</p>")
+        ledger_dir = tmp_path / "ledger"
+        status = main(["check", str(page), "--ledger", str(ledger_dir)])
+        capsys.readouterr()
+        assert status == 0
+        records = Ledger(str(ledger_dir)).records()
+        assert records[0]["races"] == []
+        html_path = tmp_path / "trend.html"
+        status = main(
+            [
+                "history", "--ledger", str(ledger_dir),
+                "--html", str(html_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "no race fingerprints recorded" in html_path.read_text()
+        assert "0 harmful" in out or "1 run(s)" in out
+
+    def test_sparkline_degenerate_series(self):
+        from repro.explain.trend_report import _sparkline_svg
+
+        assert _sparkline_svg([], "empty") == ""
+        single = _sparkline_svg([5.0], "one run")
+        assert "polyline" in single and "nan" not in single.lower()
+        flat = _sparkline_svg([0.0, 0.0, 0.0], "all zero")
+        assert "polyline" in flat and "nan" not in flat.lower()
 
 
 class TestLedgerAcrossCommands:

@@ -1,0 +1,174 @@
+"""Two-tier screening end to end: CLI flags, subset/equality properties.
+
+Pins the PR's acceptance contract on a small fixed-seed corpus slice:
+
+* two-tier races are a subset of exact races (screening never invents),
+* on every suspicious site the escalated report *equals* the exact one,
+* screening recall on racy sites clears the 90% bar,
+* ``--jobs N`` two-tier output is byte-identical to sequential, and
+* the detector flags validate (budget >= 1, mode-gated flags).
+"""
+
+import json
+
+import pytest
+
+from repro import WebRacer
+from repro.__main__ import main
+from repro.sites import build_corpus
+
+@pytest.fixture(scope="module")
+def corpus():
+    # A mixed slice: the seeded corpus is racy through index 40 and
+    # clean after, so [30:60] exercises both verdicts.
+    return build_corpus(master_seed=0, limit=60)[30:60]
+
+
+@pytest.fixture(scope="module")
+def exact_report(corpus):
+    return WebRacer(seed=0).check_corpus(corpus)
+
+
+@pytest.fixture(scope="module")
+def two_tier_report(corpus):
+    return WebRacer(seed=0, detector="two-tier").check_corpus(corpus)
+
+
+def _filtered_keys(result):
+    live = result.page_report
+    return {race.pair_key() for race in live.filtered_races}
+
+
+class TestScreeningProperties:
+    def test_two_tier_races_subset_of_exact(
+        self, exact_report, two_tier_report
+    ):
+        for exact, tiered in zip(
+            exact_report.reports, two_tier_report.reports
+        ):
+            assert exact.url == tiered.url
+            assert _filtered_keys(tiered) <= _filtered_keys(exact)
+
+    def test_suspicious_sites_equal_exact_report(
+        self, exact_report, two_tier_report
+    ):
+        suspicious = 0
+        for exact, tiered in zip(
+            exact_report.reports, two_tier_report.reports
+        ):
+            if not tiered.suspicious:
+                continue
+            suspicious += 1
+            assert tiered.tier == "escalated"
+            assert _filtered_keys(tiered) == _filtered_keys(exact)
+            assert tiered.filtered_counts() == exact.filtered_counts()
+        assert suspicious > 0  # the slice must actually exercise tier 2
+
+    def test_recall_at_least_90_percent(self, exact_report, two_tier_report):
+        exact_total = sum(
+            len(_filtered_keys(result)) for result in exact_report.reports
+        )
+        assert exact_total > 0
+        found = sum(
+            len(_filtered_keys(tiered) & _filtered_keys(exact))
+            for exact, tiered in zip(
+                exact_report.reports, two_tier_report.reports
+            )
+        )
+        assert found / exact_total >= 0.9
+
+    def test_clean_sites_are_not_escalated(self, two_tier_report):
+        clean = [r for r in two_tier_report.reports if not r.suspicious]
+        assert clean  # the slice must actually contain clean sites
+        for result in clean:
+            assert result.tier == "screen"
+            assert result.races == []
+
+    def test_screening_totals_aggregate(self, two_tier_report):
+        totals = two_tier_report.screening_summary()
+        assert totals is not None
+        assert totals["suspicious"] == totals["escalated"]
+        assert totals["suspicious"] >= 1
+
+
+class TestCLI:
+    def test_sequential_and_jobs_json_byte_identical(self, tmp_path, capsys):
+        seq_json = tmp_path / "seq.json"
+        par_json = tmp_path / "par.json"
+        assert (
+            main(
+                [
+                    "corpus", "--sites", "8", "--detector", "two-tier",
+                    "--sample-seed", "3", "--json", str(seq_json),
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "corpus", "--sites", "8", "--detector", "two-tier",
+                    "--sample-seed", "3", "--jobs", "2",
+                    "--json", str(par_json),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert seq_json.read_bytes() == par_json.read_bytes()
+        document = json.loads(seq_json.read_text())
+        assert document["screening"]["detector"] == "two-tier"
+
+    def test_sample_budget_changes_are_deterministic(self, tmp_path, capsys):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        for path in (first, second):
+            assert (
+                main(
+                    [
+                        "corpus", "--sites", "6", "--detector", "sampling",
+                        "--sample-budget", "4", "--sample-seed", "9",
+                        "--json", str(path),
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_flag_validation(self, capsys):
+        assert (
+            main(
+                [
+                    "corpus", "--sites", "2", "--detector", "two-tier",
+                    "--sample-budget", "0",
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert err.startswith("error: --sample-budget must be >= 1")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_sample_flags_require_sampling_detector(self, capsys):
+        assert main(["corpus", "--sites", "2", "--sample-budget", "8"]) == 2
+        assert main(["corpus", "--sites", "2", "--sample-seed", "8"]) == 2
+        err = capsys.readouterr().err
+        assert "--detector sampling or two-tier" in err
+
+    def test_check_two_tier_on_racy_page(self, tmp_path, capsys):
+        page = tmp_path / "page.html"
+        page.write_text(
+            '<input type="text" id="q" /><script src="hint.js"></script>'
+        )
+        hint = tmp_path / "hint.js"
+        hint.write_text("document.getElementById('q').value = 'hint';")
+        status = main(
+            [
+                "check", str(page), "--resource", f"hint.js={hint}",
+                "--detector", "two-tier",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 1  # harmful race found via escalation
+        assert "escalated" in out

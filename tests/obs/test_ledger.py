@@ -21,6 +21,7 @@ from repro.obs.ledger import (
     strip_volatile,
 )
 from repro.obs.regress import (
+    PhaseDelta,
     diff_records,
     perf_regressions,
     render_diff_text,
@@ -278,6 +279,45 @@ class TestDiff:
         text = render_diff_text(diff_records(a, b))
         assert "NEW" in text and "bb" * 8 in text
         assert "RESOLVED" in text and "aa" * 8 in text
+
+
+class TestPhaseDeltaZeroBaseline:
+    """A 0 ms baseline phase must never divide by zero (the old crash)."""
+
+    def test_new_phase_has_infinite_pct(self):
+        delta = PhaseDelta(phase="detect", a_ms=0.0, b_ms=5.0)
+        assert delta.delta_pct == float("inf")
+
+    def test_absent_phase_has_no_pct(self):
+        delta = PhaseDelta(phase="detect", a_ms=0.0, b_ms=0.0)
+        assert delta.delta_pct is None
+
+    def test_to_dict_stays_json_safe(self):
+        document = PhaseDelta(phase="detect", a_ms=0.0, b_ms=5.0).to_dict()
+        assert document["delta_pct"] is None  # inf is not valid JSON
+        assert json.dumps(document)  # never raises
+        finite = PhaseDelta(phase="detect", a_ms=4.0, b_ms=5.0).to_dict()
+        assert finite["delta_pct"] == 25.0
+
+    def test_new_expensive_phase_flags_as_regression(self):
+        a = _record(duration_ms=10.0)
+        b = _record(duration_ms=10.0)
+        b["phases"] = {"detect": {"total_ms": 50.0, "count": 1}}
+        diff = diff_records(a, b)
+        flagged = {delta.phase for delta in perf_regressions(diff, 20.0)}
+        assert "detect" in flagged
+
+    def test_zero_to_zero_never_flags(self):
+        a = _record(duration_ms=0.0)
+        b = _record(duration_ms=0.0)
+        assert perf_regressions(diff_records(a, b), 1.0) == []
+
+    def test_render_marks_new_phases(self):
+        a = _record(duration_ms=10.0)
+        b = _record(duration_ms=10.0)
+        b["phases"] = {"detect": {"total_ms": 50.0, "count": 1}}
+        text = render_diff_text(diff_records(a, b))
+        assert "new" in text  # rendered instead of an infinite percent
 
 
 class TestBenchEnvelope:
