@@ -236,6 +236,87 @@ def _detector_config(args) -> dict:
     }
 
 
+def _network_args_error(args) -> Optional[str]:
+    """Why the network flags are inconsistent, or ``None``.
+
+    The tuning knobs only mean something under the connection model;
+    silently ignoring them would let a user believe a uniform run was
+    bandwidth-shaped.
+    """
+    if getattr(args, "network", "uniform") == "uniform":
+        for flag, name in (
+            ("bandwidth", "--bandwidth"),
+            ("rtt", "--rtt"),
+            ("connections_per_origin", "--connections-per-origin"),
+        ):
+            if getattr(args, flag, None) is not None:
+                return f"{name} requires --network connection"
+        return None
+    if args.bandwidth is not None and args.bandwidth <= 0:
+        return f"--bandwidth must be > 0, got {args.bandwidth:g}"
+    if args.rtt is not None and args.rtt <= 0:
+        return f"--rtt must be > 0, got {args.rtt:g}"
+    if args.connections_per_origin is not None and args.connections_per_origin < 1:
+        return (
+            f"--connections-per-origin must be >= 1, "
+            f"got {args.connections_per_origin}"
+        )
+    return None
+
+
+def _network_kwargs(args) -> dict:
+    """WebRacer constructor kwargs for the network flags."""
+    return {
+        "network": getattr(args, "network", "uniform"),
+        "bandwidth": getattr(args, "bandwidth", None),
+        "rtt": getattr(args, "rtt", None),
+        "connections_per_origin": getattr(args, "connections_per_origin", None),
+    }
+
+
+def _network_config(args) -> dict:
+    """Ledger config additions for the connection network model.
+
+    Uniform runs add nothing, so ledgers written before the connection
+    model existed keep their config digests and still baseline against
+    new uniform runs.
+    """
+    if getattr(args, "network", "uniform") == "uniform":
+        return {}
+    from .browser.network import (
+        DEFAULT_BANDWIDTH,
+        DEFAULT_CONNECTIONS_PER_ORIGIN,
+        DEFAULT_RTT,
+    )
+
+    bandwidth = getattr(args, "bandwidth", None)
+    rtt = getattr(args, "rtt", None)
+    connections = getattr(args, "connections_per_origin", None)
+    return {
+        "network": args.network,
+        "bandwidth": bandwidth if bandwidth is not None else DEFAULT_BANDWIDTH,
+        "rtt": rtt if rtt is not None else DEFAULT_RTT,
+        "connections_per_origin": (
+            connections
+            if connections is not None
+            else DEFAULT_CONNECTIONS_PER_ORIGIN
+        ),
+    }
+
+
+def _page_network(args) -> dict:
+    """The :class:`~repro.schedule_runner.PageInput` network config the
+    flags describe (``{}`` = uniform, the PageInput default)."""
+    if getattr(args, "network", "uniform") == "uniform":
+        return {}
+    return {
+        "model": args.network,
+        "bandwidth": getattr(args, "bandwidth", None),
+        "rtt": getattr(args, "rtt", None),
+        "connections_per_origin": getattr(args, "connections_per_origin", None),
+    }
+
+
 def _parse_resources(mappings) -> tuple:
     """Parse ``--resource URL=PATH`` flags into a ``{url: content}`` map.
 
@@ -446,16 +527,35 @@ def cmd_check(args) -> int:
     detector_error = _detector_args_error(args)
     if detector_error:
         return _fail(detector_error)
+    network_error = _network_args_error(args)
+    if network_error:
+        return _fail(network_error)
     if args.ledger:
         ledger_error = _ledger_dir_error(args.ledger)
         if ledger_error:
             return _fail(ledger_error)
     started = time.perf_counter()
-    with open(args.page) as handle:
-        html = handle.read()
+    sizes = None
+    har_resources = {}
+    if args.page.endswith(".har"):
+        from .har import HarError, load_har
+
+        try:
+            workload = load_har(args.page)
+        except HarError as exc:
+            return _fail(f"bad HAR {args.page!r}: {exc}")
+        except OSError as exc:
+            return _fail(f"cannot read {args.page!r}: {exc.strerror or exc}")
+        html = workload.html
+        har_resources = workload.resources
+        sizes = {url: float(size) for url, size in workload.sizes.items()}
+    else:
+        with open(args.page) as handle:
+            html = handle.read()
     resources, resource_error = _parse_resources(args.resource)
     if resource_error:
         return _fail(resource_error)
+    resources = {**har_resources, **resources}
     obs = _make_obs(args)
     racer = WebRacer(
         seed=args.seed,
@@ -464,8 +564,11 @@ def cmd_check(args) -> int:
         hb_backend=args.hb_backend,
         obs=obs,
         **_detector_kwargs(args),
+        **_network_kwargs(args),
     )
-    report = racer.check_page(html, resources=resources, url=args.page)
+    report = racer.check_page(
+        html, resources=resources, url=args.page, sizes=sizes
+    )
     status = _print_report(report)
     if report.sampling is not None:
         stats = report.sampling
@@ -512,6 +615,7 @@ def cmd_check(args) -> int:
             "schedule_seed": args.schedule_seed,
             "hb_backend": args.hb_backend,
             **_detector_config(args),
+            **_network_config(args),
         },
         races=_check_ledger_races(args.page, report),
         totals={
@@ -639,6 +743,9 @@ def cmd_corpus(args) -> int:
     detector_error = _detector_args_error(args)
     if detector_error:
         return _fail(detector_error)
+    network_error = _network_args_error(args)
+    if network_error:
+        return _fail(network_error)
     if args.jobs < 0:
         return _fail(f"--jobs must be >= 0, got {args.jobs}")
     if args.ledger:
@@ -661,6 +768,7 @@ def cmd_corpus(args) -> int:
         hb_backend=args.hb_backend,
         obs=obs,
         **_detector_kwargs(args),
+        **_network_kwargs(args),
     )
     if jobs == 1:
         sites = build_corpus(master_seed=args.seed, limit=args.sites)
@@ -752,6 +860,7 @@ def cmd_corpus(args) -> int:
             # sharded and sequential runs are byte-identical by design,
             # so they share a config digest and diff against each other.
             **_detector_config(args),
+            **_network_config(args),
         },
         races=_corpus_ledger_races(corpus_report),
         totals={
@@ -821,6 +930,9 @@ def cmd_explore(args) -> int:
         return _fail(f"--schedules must be >= 1, got {args.schedules}")
     if args.jobs < 0:
         return _fail(f"--jobs must be >= 0, got {args.jobs}")
+    network_error = _network_args_error(args)
+    if network_error:
+        return _fail(network_error)
     if args.traces_dir:
         if os.path.isfile(args.traces_dir):
             return _fail(f"--traces-dir {args.traces_dir!r} is a file")
@@ -836,10 +948,18 @@ def cmd_explore(args) -> int:
         if ledger_error:
             return _fail(ledger_error)
     started = time.perf_counter()
+    from .har import HarError
+
     try:
         pages = load_page_inputs(args.path)
+    except HarError as exc:
+        return _fail(f"bad HAR under {args.path!r}: {exc}")
     except OSError as exc:
         return _fail(str(exc))
+    page_network = _page_network(args)
+    if page_network:
+        for page in pages:
+            page.network = dict(page_network)
     obs = _make_obs(args)
     report = explore_pages(
         pages,
@@ -933,6 +1053,7 @@ def cmd_explore(args) -> int:
             "schedules": args.schedules,
             "seed": args.seed,
             "hb_backend": args.hb_backend,
+            **_network_config(args),
         },
         races=_explore_ledger_races(document),
         totals=document["totals"],
@@ -981,6 +1102,9 @@ def cmd_predict(args) -> int:
         return _fail(path_error)
     if args.budget < 1:
         return _fail(f"--budget must be >= 1, got {args.budget}")
+    network_error = _network_args_error(args)
+    if network_error:
+        return _fail(network_error)
     if args.ledger:
         ledger_error = _ledger_dir_error(args.ledger)
         if ledger_error:
@@ -989,10 +1113,18 @@ def cmd_predict(args) -> int:
     resources, resource_error = _parse_resources(args.resource)
     if resource_error:
         return _fail(resource_error)
+    from .har import HarError
+
     try:
         pages = load_page_inputs(args.path, resources)
+    except HarError as exc:
+        return _fail(f"bad HAR under {args.path!r}: {exc}")
     except OSError as exc:
         return _fail(str(exc))
+    page_network = _page_network(args)
+    if page_network:
+        for page in pages:
+            page.network = dict(page_network)
     obs = _make_obs(args)
     reports = predict_pages(
         pages,
@@ -1031,6 +1163,7 @@ def cmd_predict(args) -> int:
             "budget": args.budget,
             "minimize": bool(args.minimize),
             "hb_backend": args.hb_backend,
+            **_network_config(args),
         },
         races=_predict_ledger_races(document),
         totals=document["totals"],
@@ -1261,6 +1394,28 @@ def _add_scheduler(parser: argparse.ArgumentParser) -> None:
                              "derive position-independently from it")
 
 
+def _add_network(parser: argparse.ArgumentParser) -> None:
+    from .browser.network import NETWORK_MODELS
+
+    parser.add_argument("--network", choices=NETWORK_MODELS,
+                        default="uniform",
+                        help="network model: uniform (one seeded latency "
+                             "per resource) or connection (per-origin "
+                             "connection pools, slow-start ramp, shared "
+                             "bandwidth)")
+    parser.add_argument("--bandwidth", type=float, default=None,
+                        metavar="KBPS",
+                        help="shared downlink in kilobytes/second "
+                             "(default 1500; requires --network connection)")
+    parser.add_argument("--rtt", type=float, default=None, metavar="MS",
+                        help="round-trip time in virtual ms (default 40; "
+                             "requires --network connection)")
+    parser.add_argument("--connections-per-origin", type=int, default=None,
+                        metavar="N",
+                        help="parallel connections per origin (default 6; "
+                             "requires --network connection)")
+
+
 def _add_profiling(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--profile", action="store_true",
                         help="print a per-phase timing and counter table")
@@ -1293,12 +1448,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    check = sub.add_parser("check", help="check an HTML file for races")
-    check.add_argument("page", help="path to the HTML file")
+    check = sub.add_parser("check",
+                           help="check an HTML file (or .har capture) for races")
+    check.add_argument("page", help="path to the HTML file or .har capture")
     check.add_argument("--resource", action="append", metavar="URL=PATH",
                        help="map a sub-resource URL to a local file")
     check.add_argument("--seed", type=int, default=0)
     check.add_argument("--json", help="dump the trace to this file")
+    _add_network(check)
     _add_scheduler(check)
     _add_hb_backend(check)
     _add_detector(check)
@@ -1319,6 +1476,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "site records an error and the run continues")
     corpus.add_argument("--json", metavar="FILE",
                         help="write Table 1 / Table 2 / totals as JSON")
+    _add_network(corpus)
     _add_scheduler(corpus)
     _add_hb_backend(corpus)
     _add_detector(corpus)
@@ -1347,6 +1505,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--minimize", metavar="FINGERPRINT",
                          help="ddmin-minimize a witnessed fingerprint's "
                               "schedule (prefix match allowed)")
+    _add_network(explore)
     _add_hb_backend(explore)
     _add_profiling(explore)
     _add_ledger(explore)
@@ -1372,6 +1531,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the predict report as JSON")
     predict.add_argument("--no-evidence", action="store_true",
                          help="omit per-prediction HB evidence from --json")
+    _add_network(predict)
     _add_hb_backend(predict)
     _add_profiling(predict)
     _add_ledger(predict)

@@ -126,6 +126,11 @@ class EventLoop:
         if not live:
             self._tasks.clear()
             return False
+        if len(live) < len(self._tasks):
+            # Prune cancelled tasks opportunistically: a cancelled task can
+            # never run, and keeping it until the queue drains makes every
+            # step an O(live+dead) scan on interval-heavy pages.
+            self._tasks = live
         earliest = min(task.ready_time for task in live)
         candidates = [
             task for task in live if task.ready_time <= earliest + self.tie_window

@@ -57,7 +57,7 @@ from .dispatcher import Dispatcher
 from .event_loop import EventLoop
 from .exploration import AutoExplorer
 from .instrument import Monitor
-from .network import FetchResult, NetworkSimulator
+from .network import FetchResult, NetworkSimulator, make_network
 from .scheduler import Scheduler, make_scheduler
 from .timers import TimerEntry, TimerRegistry
 from .window import Window, reset_window_ids
@@ -88,6 +88,11 @@ class Browser:
         detector: str = "exact",
         sample_budget: Optional[int] = None,
         sample_seed: int = 0,
+        network: str = "uniform",
+        sizes: Optional[Dict[str, float]] = None,
+        bandwidth: Optional[float] = None,
+        rtt: Optional[float] = None,
+        connections_per_origin: Optional[int] = None,
         obs=None,
     ):
         # One Browser is one page-load experiment: restart the allocation
@@ -116,13 +121,18 @@ class Browser:
             self.loop = EventLoop(
                 self.clock, scheduler, tie_window=tie_window, obs=self.obs
             )
-        self.network = NetworkSimulator(
+        self.network = make_network(
             self.loop,
+            model=network,
             resources=resources,
             seed=seed,
             min_latency=min_latency,
             max_latency=max_latency,
             latencies=latencies,
+            sizes=sizes,
+            bandwidth=bandwidth,
+            rtt=rtt,
+            connections_per_origin=connections_per_origin,
         )
         self.monitor = Monitor(
             enabled=instrument,
@@ -827,6 +837,7 @@ class Page:
     def start_xhr(self, xhr: XhrBinding) -> None:
         """Begin a simulated XHR; completion dispatches readystatechange."""
         def on_response(result: FetchResult) -> None:
+            xhr.pending = None
             xhr.ready_state = 4
             xhr.status = result.status if not result.ok else 200
             xhr.response_text = result.content
@@ -835,7 +846,8 @@ class Page:
             )
             self.dispatcher.dispatch("readystatechange", xhr, extra_sources=extra)
 
-        self.network.fetch(xhr.url, on_response)
+        # Keep the handle so abort()/re-open() can cancel the completion.
+        xhr.pending = self.network.fetch(xhr.url, on_response)
 
     # ------------------------------------------------------------------
     # dynamic DOM mutation (called from bindings)

@@ -40,6 +40,8 @@ class XhrBinding(HostObject):
         self.listeners: Dict[str, list] = {}
         self.send_op: Optional[int] = None
         self.dispatch_count = 0
+        #: Cancellable handle of the in-flight network fetch, if any.
+        self.pending: Optional[Any] = None
         self._methods: Dict[str, BoundMethod] = {}
 
     @property
@@ -94,15 +96,35 @@ class XhrBinding(HostObject):
 
 
 def _xhr_open(interp, xhr: XhrBinding, args):
+    # Per spec, open() terminates any in-flight send and resets the
+    # request's response state — a reused XHR must not leak the previous
+    # request's status/responseText/send provenance into the next one.
+    if xhr.pending is not None:
+        xhr.pending.cancel()
+        xhr.pending = None
     xhr.method = to_string(args[0]).upper() if args else "GET"
     xhr.url = to_string(args[1]) if len(args) > 1 else ""
     xhr.ready_state = 1
+    xhr.status = 0
+    xhr.response_text = ""
+    xhr.send_op = None
     return UNDEFINED
 
 
 def _xhr_send(interp, xhr: XhrBinding, args):
     xhr.send_op = xhr.page.monitor.current_id()
     xhr.page.start_xhr(xhr)
+    return UNDEFINED
+
+
+def _xhr_abort(interp, xhr: XhrBinding, args):
+    # Cancel the pending completion so readystatechange never fires for
+    # the aborted request, and reset to the unsent state.
+    if xhr.pending is not None:
+        xhr.pending.cancel()
+        xhr.pending = None
+    xhr.ready_state = 0
+    xhr.send_op = None
     return UNDEFINED
 
 
@@ -125,7 +147,7 @@ _XHR_METHODS = {
     "open": _xhr_open,
     "send": _xhr_send,
     "setRequestHeader": _xhr_noop,
-    "abort": _xhr_noop,
+    "abort": _xhr_abort,
     "addEventListener": _xhr_add_listener,
 }
 

@@ -96,6 +96,10 @@ def run_site_task(payload: Dict[str, Any]) -> SiteResult:
         detector=payload.get("detector", "exact"),
         sample_budget=payload.get("sample_budget"),
         sample_seed=payload.get("sample_seed", 0),
+        network=payload.get("network", "uniform"),
+        bandwidth=payload.get("bandwidth"),
+        rtt=payload.get("rtt"),
+        connections_per_origin=payload.get("connections_per_origin"),
         obs=obs,
     )
     result = racer.run_site_guarded(
@@ -122,6 +126,10 @@ def run_corpus_parallel(
     detector: str = "exact",
     sample_budget: Optional[int] = None,
     sample_seed: int = 0,
+    network: str = "uniform",
+    bandwidth: Optional[float] = None,
+    rtt: Optional[float] = None,
+    connections_per_origin: Optional[int] = None,
     timeout: Optional[float] = None,
     collect_evidence: bool = False,
     obs: Optional[Instrumentation] = None,
@@ -146,6 +154,10 @@ def run_corpus_parallel(
             "detector": detector,
             "sample_budget": sample_budget,
             "sample_seed": sample_seed,
+            "network": network,
+            "bandwidth": bandwidth,
+            "rtt": rtt,
+            "connections_per_origin": connections_per_origin,
             "timeout": timeout,
             "collect_evidence": collect_evidence,
             "with_obs": obs is not None,

@@ -101,25 +101,56 @@ def schedule_matrix(schedules: int, seed: int = 0) -> List[ScheduleSpec]:
 
 @dataclass
 class PageInput:
-    """One page to explore: url, markup, and its sub-resources."""
+    """One page to explore: url, markup, and its sub-resources.
+
+    ``sizes`` pins on-the-wire resource sizes (HAR captures) and
+    ``network`` carries the network-model config (``{}`` = uniform;
+    otherwise ``{"model": "connection", "bandwidth": ..., "rtt": ...,
+    "connections_per_origin": ...}`` with ``None`` meaning defaults).
+    Both ride on the page so every run of it — record, replay, ddmin,
+    predict — shares the exact same network physics.
+    """
 
     url: str
     html: str
     resources: Dict[str, str] = field(default_factory=dict)
+    sizes: Dict[str, float] = field(default_factory=dict)
+    network: Dict[str, Any] = field(default_factory=dict)
+
+
+def _har_page_input(
+    path: str, resources: Optional[Dict[str, str]] = None
+) -> PageInput:
+    """One page input from a ``.har`` capture (see :mod:`repro.har`)."""
+    from .har import load_har
+
+    workload = load_har(path)
+    merged = dict(workload.resources)
+    merged.update(resources or {})
+    return PageInput(
+        url=path,
+        html=workload.html,
+        resources=merged,
+        sizes={url: float(size) for url, size in workload.sizes.items()},
+    )
 
 
 def load_page_inputs(
     path: str, resources: Optional[Dict[str, str]] = None
 ) -> List[PageInput]:
-    """Pages from an HTML file or a directory of pages.
+    """Pages from an HTML/HAR file or a directory of pages.
 
-    A file yields one page (``resources`` maps URL → content).  A
-    directory yields one page per ``*.html`` file (sorted by name); every
-    *other* file in the directory is offered to every page as a resource
-    keyed by its basename, which is how the example pages reference their
-    scripts (``<script src="hint.js">``).
+    A file yields one page (``resources`` maps URL → content); ``.har``
+    files go through the HAR front end, which supplies the page's own
+    resources and on-the-wire sizes.  A directory yields one page per
+    ``*.html`` file plus one per ``*.har`` capture (sorted by name);
+    every *other* file in the directory is offered to every HTML page as
+    a resource keyed by its basename, which is how the example pages
+    reference their scripts (``<script src="hint.js">``).
     """
     if os.path.isfile(path):
+        if path.endswith(".har"):
+            return [_har_page_input(path, resources)]
         with open(path) as handle:
             html = handle.read()
         return [PageInput(url=path, html=html, resources=dict(resources or {}))]
@@ -129,11 +160,15 @@ def load_page_inputs(
     contents: Dict[str, str] = {}
     for name in names:
         full = os.path.join(path, name)
-        if os.path.isfile(full):
+        if os.path.isfile(full) and not name.endswith(".har"):
             with open(full) as handle:
                 contents[name] = handle.read()
     pages: List[PageInput] = []
     for name in names:
+        full = os.path.join(path, name)
+        if name.endswith(".har") and os.path.isfile(full):
+            pages.append(_har_page_input(full, resources))
+            continue
         if not name.endswith(".html"):
             continue
         page_resources = {
@@ -144,13 +179,14 @@ def load_page_inputs(
         page_resources.update(resources or {})
         pages.append(
             PageInput(
-                url=os.path.join(path, name),
+                url=full,
                 html=contents[name],
                 resources=page_resources,
             )
         )
+    pages.sort(key=lambda page: page.url)
     if not pages:
-        raise FileNotFoundError(f"no *.html pages under {path!r}")
+        raise FileNotFoundError(f"no *.html or *.har pages under {path!r}")
     return pages
 
 
@@ -207,12 +243,18 @@ def run_page_once(
     from .explain.fingerprint import race_fingerprint
     from .webracer import WebRacer
 
+    network = page.network or {}
     browser = Browser(
         seed=seed,
         scheduler=scheduler,
         resources=dict(page.resources),
         tie_window=EXPLORE_TIE_WINDOW,
         hb_backend=hb_backend,
+        network=network.get("model", "uniform"),
+        sizes=dict(page.sizes) if page.sizes else None,
+        bandwidth=network.get("bandwidth"),
+        rtt=network.get("rtt"),
+        connections_per_origin=network.get("connections_per_origin"),
         obs=obs if obs is not None else NULL,
     )
     page_obj = browser.open(page.html, url=page.url)
@@ -437,6 +479,8 @@ def _matrix_task(payload: Dict[str, Any]) -> ScheduleRunResult:
         url=payload["url"],
         html=payload["html"],
         resources=payload["resources"],
+        sizes=payload.get("sizes", {}),
+        network=payload.get("network", {}),
     )
     spec = ScheduleSpec(
         sid=payload["sid"], policy=payload["policy"], seed=payload["spec_seed"]
@@ -509,6 +553,8 @@ def explore_pages(
                     "url": page.url,
                     "html": page.html,
                     "resources": dict(page.resources),
+                    "sizes": dict(page.sizes),
+                    "network": dict(page.network),
                     "sid": spec.sid,
                     "policy": spec.policy,
                     "spec_seed": spec.seed,

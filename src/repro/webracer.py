@@ -388,6 +388,10 @@ class WebRacer:
         detector: str = "exact",
         sample_budget: Optional[int] = None,
         sample_seed: int = 0,
+        network: str = "uniform",
+        bandwidth: Optional[float] = None,
+        rtt: Optional[float] = None,
+        connections_per_origin: Optional[int] = None,
         obs=None,
     ):
         if detector not in DETECTOR_MODES:
@@ -421,6 +425,13 @@ class WebRacer:
         #: Base seed for the reservoir; per-page seeds derive
         #: position-independently (:func:`derive_sample_seed`).
         self.sample_seed = sample_seed
+        #: Network model: ``"uniform"`` (seeded per-resource latencies) or
+        #: ``"connection"`` (per-origin pools, slow start, shared
+        #: bandwidth); the tuning knobs are ``None`` for model defaults.
+        self.network = network
+        self.bandwidth = bandwidth
+        self.rtt = rtt
+        self.connections_per_origin = connections_per_origin
         #: Observability sink threaded through Browser → Monitor →
         #: detector/filters; the default null sink records nothing.
         self.obs = obs if obs is not None else NULL
@@ -454,6 +465,7 @@ class WebRacer:
         latencies: Optional[Dict[str, float]] = None,
         seed: Optional[int] = None,
         page_index: int = 0,
+        sizes: Optional[Dict[str, float]] = None,
     ) -> Browser:
         """A Browser configured with this detector's settings."""
         return Browser(
@@ -463,6 +475,11 @@ class WebRacer:
             latencies=latencies,
             min_latency=self.min_latency,
             max_latency=self.max_latency,
+            network=self.network,
+            sizes=sizes,
+            bandwidth=self.bandwidth,
+            rtt=self.rtt,
+            connections_per_origin=self.connections_per_origin,
             full_history=self.full_history,
             report_all_per_location=self.report_all_per_location,
             hb_backend=self.hb_backend,
@@ -482,19 +499,22 @@ class WebRacer:
         url: str = "page.html",
         seed: Optional[int] = None,
         page_index: Optional[int] = None,
+        sizes: Optional[Dict[str, float]] = None,
     ) -> PageReport:
         """Load ``html``, explore, detect, filter, classify.
 
         ``page_index`` pins the page's position-independent identity for
         per-page schedule derivation; when omitted, pages are numbered in
-        call order on this detector instance.
+        call order on this detector instance.  ``sizes`` pins on-the-wire
+        resource sizes for the connection network model (HAR workloads).
         """
         if page_index is None:
             page_index = self._pages_checked
             self._pages_checked += 1
         with self.obs.span("check_page", cat="pipeline", url=url):
             browser = self.make_browser(
-                resources, latencies, seed=seed, page_index=page_index
+                resources, latencies, seed=seed, page_index=page_index,
+                sizes=sizes,
             )
             page = browser.open(html, url=url)
             page.auto_explore = self.explore
@@ -757,6 +777,10 @@ class WebRacer:
             detector=self.detector,
             sample_budget=self.sample_budget,
             sample_seed=self.sample_seed,
+            network=self.network,
+            bandwidth=self.bandwidth,
+            rtt=self.rtt,
+            connections_per_origin=self.connections_per_origin,
             timeout=timeout,
             collect_evidence=collect_evidence,
             obs=self.obs if self.obs.enabled else None,

@@ -168,3 +168,47 @@ class TestSchedulers:
         loop.post(lambda: order.append("user-late"), delay=5.0, kind="user")
         loop.run()
         assert order == ["parse-early", "user-late"]
+
+
+class TestCancelledTaskPruning:
+    """Pin the leak fix: cancelled tasks must not pile up in the queue."""
+
+    def test_cancelled_tasks_are_pruned_on_step(self):
+        loop = EventLoop()
+        doomed = [loop.post(lambda: None, delay=50.0 + i) for i in range(100)]
+        for task in doomed:
+            task.cancel()
+        loop.post(lambda: None, delay=1.0)
+        assert loop.step()
+        assert len(loop._tasks) == 0
+
+    def test_task_list_bounded_under_timer_churn(self):
+        """A page that keeps re-arming a watchdog timer (post + cancel on
+        every tick) must not grow the queue linearly in tick count."""
+        loop = EventLoop()
+        peak = {"tasks": 0}
+        state = {"watchdog": None, "rounds": 0}
+
+        def tick():
+            if state["watchdog"] is not None:
+                state["watchdog"].cancel()
+            state["watchdog"] = loop.post(lambda: None, delay=10000.0)
+            state["rounds"] += 1
+            peak["tasks"] = max(peak["tasks"], len(loop._tasks))
+            if state["rounds"] < 300:
+                loop.post(tick, delay=1.0)
+
+        loop.post(tick, delay=1.0)
+        loop.run()
+        assert state["rounds"] == 300
+        # Without pruning the peak is ~300 (one dead watchdog per round).
+        assert peak["tasks"] <= 4
+
+    def test_cancelled_task_never_runs_after_prune(self):
+        loop = EventLoop()
+        fired = []
+        victim = loop.post(lambda: fired.append("victim"), delay=5.0)
+        loop.post(lambda: fired.append("ok"), delay=1.0)
+        victim.cancel()
+        loop.run()
+        assert fired == ["ok"]

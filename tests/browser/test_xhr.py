@@ -143,3 +143,132 @@ class TestXhrCrashes:
         assert g(page, "after") == 1.0
         assert any(crash.kind == "ReferenceError" for crash in page.trace.crashes)
         assert page.loaded()
+
+
+class TestAbort:
+    """Pin the abort() fix: an aborted request must go quiet."""
+
+    def test_aborted_handler_never_fires(self):
+        page = load(
+            """
+            <script>
+            var fired = 0;
+            var xr = new XMLHttpRequest();
+            xr.open('GET', 'slow.json');
+            xr.onreadystatechange = function() { fired = fired + 1; };
+            xr.send();
+            xr.abort();
+            stateAfterAbort = xr.readyState;
+            </script>
+            """,
+            resources={"slow.json": "body"},
+        )
+        assert g(page, "fired") == 0.0
+        assert g(page, "stateAfterAbort") == 0.0
+
+    def test_abort_before_send_is_harmless(self):
+        page = load(
+            """
+            <script>
+            var xr = new XMLHttpRequest();
+            xr.open('GET', 'a.json');
+            xr.abort();
+            state = xr.readyState;
+            </script>
+            """,
+            resources={"a.json": "x"},
+        )
+        assert g(page, "state") == 0.0
+
+    def test_abort_then_fresh_request_completes(self):
+        page = load(
+            """
+            <script>
+            var xr = new XMLHttpRequest();
+            xr.open('GET', 'first.json');
+            xr.onreadystatechange = function() {
+              if (xr.readyState == 4) { body = xr.responseText; }
+            };
+            xr.send();
+            xr.abort();
+            xr.open('GET', 'second.json');
+            xr.send();
+            </script>
+            """,
+            resources={"first.json": "FIRST", "second.json": "SECOND"},
+        )
+        assert g(page, "body") == "SECOND"
+
+    def test_aborted_under_connection_model_too(self):
+        page = load(
+            """
+            <script>
+            var fired = 0;
+            var xr = new XMLHttpRequest();
+            xr.open('GET', 'slow.json');
+            xr.onreadystatechange = function() { fired = fired + 1; };
+            xr.send();
+            xr.abort();
+            </script>
+            """,
+            resources={"slow.json": "body"},
+            network="connection",
+        )
+        assert g(page, "fired") == 0.0
+
+
+class TestReuse:
+    """Pin the open() reset fix: a reused XHR starts from a clean slate."""
+
+    def test_open_resets_previous_response_state(self):
+        page = load(
+            """
+            <script>
+            var phase = 1;
+            var xr = new XMLHttpRequest();
+            xr.onreadystatechange = function() {
+              if (xr.readyState != 4) { return; }
+              if (phase == 1) {
+                firstStatus = xr.status;
+                firstBody = xr.responseText;
+                phase = 2;
+                xr.open('GET', 'missing.json');
+                resetStatus = xr.status;
+                resetBody = xr.responseText;
+                xr.send();
+              } else {
+                secondStatus = xr.status;
+              }
+            };
+            xr.open('GET', 'a.json');
+            xr.send();
+            </script>
+            """,
+            resources={"a.json": "PAYLOAD"},
+        )
+        assert g(page, "firstStatus") == 200.0
+        assert g(page, "firstBody") == "PAYLOAD"
+        # open() must wipe the previous request's response state...
+        assert g(page, "resetStatus") == 0.0
+        assert g(page, "resetBody") == ""
+        # ...and the second request then reports its own outcome.
+        assert g(page, "secondStatus") == 404.0
+
+    def test_open_cancels_inflight_send(self):
+        page = load(
+            """
+            <script>
+            var bodies = '';
+            var xr = new XMLHttpRequest();
+            xr.onreadystatechange = function() {
+              if (xr.readyState == 4) { bodies = bodies + xr.responseText; }
+            };
+            xr.open('GET', 'first.json');
+            xr.send();
+            xr.open('GET', 'second.json');
+            xr.send();
+            </script>
+            """,
+            resources={"first.json": "FIRST", "second.json": "SECOND"},
+        )
+        assert g(page, "bodies") == "SECOND"
